@@ -1,0 +1,83 @@
+package querycentric
+
+import (
+	"querycentric/internal/analysis"
+	"querycentric/internal/core"
+	"querycentric/internal/stats"
+	"querycentric/internal/terms"
+)
+
+// Analysis report types (see internal/analysis).
+type (
+	DistReport       = analysis.DistReport
+	AnnotationReport = analysis.AnnotationReport
+	Annotation       = analysis.Annotation
+	TermCount        = analysis.TermCount
+	Interval         = analysis.Interval
+	IntervalConfig   = analysis.IntervalConfig
+	SeriesPoint      = analysis.SeriesPoint
+	TransientConfig  = analysis.TransientConfig
+	TransientPoint   = analysis.TransientPoint
+)
+
+// The four iTunes annotations of Figure 4.
+const (
+	AnnotationSong   = analysis.AnnotationSong
+	AnnotationGenre  = analysis.AnnotationGenre
+	AnnotationAlbum  = analysis.AnnotationAlbum
+	AnnotationArtist = analysis.AnnotationArtist
+)
+
+// Object-trace analyses (Figures 1–3 and the ranked file terms).
+var (
+	Replicas        = analysis.Replicas
+	TermPeers       = analysis.TermPeers
+	RankedFileTerms = analysis.RankedFileTerms
+	TopTerms        = analysis.TopTerms
+)
+
+// Annotations computes a Figure 4 distribution for one annotation.
+func Annotations(tr *SongTrace, a Annotation) (*AnnotationReport, error) {
+	return analysis.Annotations(tr, a)
+}
+
+// Temporal analyses (Figures 5–7).
+var (
+	DefaultIntervalConfig  = analysis.DefaultIntervalConfig
+	Intervals              = analysis.Intervals
+	StabilitySeries        = analysis.StabilitySeries
+	MismatchSeries         = analysis.MismatchSeries
+	AllTermsMismatchSeries = analysis.AllTermsMismatchSeries
+	DefaultTransientConfig = analysis.DefaultTransientConfig
+	Transients             = analysis.Transients
+	TransientSummary       = analysis.TransientSummary
+)
+
+// Tokenize splits a name or query string with the Gnutella protocol
+// tokenization the paper's analyses use.
+func Tokenize(s string) []string { return terms.Tokenize(s) }
+
+// Sanitize normalizes a file name as the Figure 2 analysis does
+// (lowercase, letters and digits only).
+func Sanitize(s string) string { return terms.Sanitize(s) }
+
+// Jaccard returns the Jaccard similarity of two string sets.
+func Jaccard(a, b map[string]struct{}) float64 { return stats.Jaccard(a, b) }
+
+// Online popularity tracking — the reusable query-centric engine
+// (internal/core): feed a query stream, get per-interval popular sets,
+// persistence, transients and stability.
+type (
+	Tracker        = core.Tracker
+	TrackerConfig  = core.TrackerConfig
+	IntervalReport = core.IntervalReport
+)
+
+// DefaultTrackerConfig matches the paper's 60-minute interval analysis.
+func DefaultTrackerConfig() TrackerConfig { return core.DefaultTrackerConfig() }
+
+// NewTracker builds an online popularity tracker; onClose (optional) is
+// invoked as each evaluation interval completes.
+func NewTracker(cfg TrackerConfig, onClose func(*IntervalReport)) (*Tracker, error) {
+	return core.NewTracker(cfg, onClose)
+}

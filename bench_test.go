@@ -1,0 +1,335 @@
+// Benchmarks: one per table and figure of the paper (run with
+// `go test -bench=. -benchmem`), plus ablation benches for the design
+// choices DESIGN.md calls out. Each benchmark pre-builds the shared traces
+// outside the timer and then measures the experiment itself at the tiny
+// scale; use cmd/qc-figures for full-scale numbers.
+package querycentric_test
+
+import (
+	"testing"
+
+	qc "querycentric"
+)
+
+// benchEnv returns an environment whose shared artifacts are already
+// built, so the timed region measures only the experiment.
+func benchEnv(b *testing.B, needQueries, needSongs bool) *qc.Env {
+	b.Helper()
+	e := qc.NewEnv(qc.ScaleTiny, 42)
+	if _, _, err := e.ObjectTrace(); err != nil {
+		b.Fatal(err)
+	}
+	if needQueries {
+		if _, err := e.Workload(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if needSongs {
+		if _, _, err := e.SongTrace(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func BenchmarkFig1Replicas(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig1(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Sanitized(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig2(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Terms(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig3(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Annotations(b *testing.B) {
+	e := benchEnv(b, false, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig4(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Transients(b *testing.B) {
+	e := benchEnv(b, true, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig5(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Stability(b *testing.B) {
+	e := benchEnv(b, true, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig6(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Mismatch(b *testing.B) {
+	e := benchEnv(b, true, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig7(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableTTLCoverage(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.TTLCoverage(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8FloodSuccess(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.Fig8(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableRareObjects(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.RareObjectFraction(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridVsDHT(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.HybridVsDHT(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynopsisAblation(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.SynopsisAblation(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGiaComparison(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.GiaComparison(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationOverlapSweep measures how the query/file vocabulary
+// overlap knob drives the Figure 7 similarity (the "mismatch, not Zipf,
+// drives failure" argument).
+func BenchmarkAblationOverlapSweep(b *testing.B) {
+	e := benchEnv(b, false, false)
+	ranked, err := e.FileTerms()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fileTerms := make([]string, len(ranked))
+	for i, tc := range ranked {
+		fileTerms[i] = tc.Term
+	}
+	for _, overlap := range []float64{0.05, 0.5, 0.9} {
+		b.Run(benchName("overlap", overlap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qt, err := qc.QueryWorkload(qc.QueryWorkloadConfig{
+					Seed: 7, Queries: 10000, Duration: 8 * 3600, FileTerms: fileTerms,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ivs, err := qc.Intervals(qt, qc.DefaultIntervalConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = qc.MismatchSeries(ivs, qc.TopTerms(ranked, 300))
+				_ = overlap
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTopologyFamilies compares TTL coverage across topology
+// families (two-tier vs flat random vs power-law).
+func BenchmarkAblationTopologyFamilies(b *testing.B) {
+	const n = 2000
+	builders := map[string]func() (*qc.Graph, error){
+		"gnutella-two-tier": func() (*qc.Graph, error) {
+			return qc.NewGnutellaOverlay(n, qc.DefaultGnutellaOverlay(), 1)
+		},
+		"erdos-renyi":     func() (*qc.Graph, error) { return qc.NewErdosRenyiOverlay(n, 8, 1) },
+		"barabasi-albert": func() (*qc.Graph, error) { return qc.NewBarabasiAlbert(n, 4, 1) },
+	}
+	for name, build := range builders {
+		g, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := qc.CoverageStats(g, 5, 20, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSanitization isolates the cost and effect of the
+// Figure 1 vs Figure 2 sanitization pass.
+func BenchmarkAblationSanitization(b *testing.B) {
+	e := benchEnv(b, false, false)
+	tr, _, err := e.ObjectTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qc.Replicas(tr, false)
+		}
+	})
+	b.Run("sanitized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qc.Replicas(tr, true)
+		}
+	})
+}
+
+// BenchmarkTracePipeline measures the end-to-end collection path (catalog →
+// network → wire crawl).
+func BenchmarkTracePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := qc.GnutellaCrawl(qc.GnutellaCrawlConfig{
+			Seed: uint64(i), Peers: 100, UniqueObjects: 2000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v float64) string {
+	switch {
+	case v < 0.1:
+		return prefix + "-low"
+	case v < 0.6:
+		return prefix + "-mid"
+	default:
+		return prefix + "-high"
+	}
+}
+
+// BenchmarkDHTRouting measures the structured baselines' lookup costs
+// (Chord vs Pastry).
+func BenchmarkDHTRouting(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.DHTRouting(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQRPEffect measures the deployed-QRP ablation (message savings
+// without success gains under the mismatch).
+func BenchmarkQRPEffect(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.QRPEffect(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnComparison measures the churn experiment.
+func BenchmarkChurnComparison(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.ChurnComparison(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalkVsFlood measures the mechanism comparison.
+func BenchmarkWalkVsFlood(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.WalkVsFlood(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicationStrategies measures the allocation-strategy ablation.
+func BenchmarkReplicationStrategies(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.ReplicationStrategies(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShortcutsExperiment measures the interest-shortcuts extension.
+func BenchmarkShortcutsExperiment(b *testing.B) {
+	e := benchEnv(b, false, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qc.ShortcutsExperiment(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command qc-analyze runs the paper's analyses over trace files produced
+// by qc-crawl, qc-itunes and qc-queries.
+//
+// Modes:
+//
+//	qc-analyze -mode replicas  -in crawl.trace [-sanitize]
+//	qc-analyze -mode terms     -in crawl.trace
+//	qc-analyze -mode annotations -in itunes.trace
+//	qc-analyze -mode stability -in queries.trace [-interval 3600]
+//	qc-analyze -mode mismatch  -in queries.trace -crawl crawl.trace
+//	qc-analyze -mode transients -in queries.trace [-interval 3600]
+//
+// Output is tab-separated series on stdout with a human summary on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	qc "querycentric"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "replicas", "replicas|terms|annotations|stability|mismatch|transients")
+		in       = flag.String("in", "", "input trace file")
+		crawlIn  = flag.String("crawl", "", "object trace (mismatch mode)")
+		sanitize = flag.Bool("sanitize", false, "sanitize names (replicas mode, Figure 2)")
+		interval = flag.Int64("interval", 3600, "evaluation interval in seconds")
+	)
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("missing -in"))
+	}
+	switch *mode {
+	case "replicas", "terms":
+		tr := readObjects(*in)
+		var rep *qc.DistReport
+		if *mode == "terms" {
+			rep = qc.TermPeers(tr)
+		} else {
+			rep = qc.Replicas(tr, *sanitize)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s ≤37peers=%.2f%% ≥20peers=%.2f%%\n",
+			*mode, rep, 100*rep.FracAtMost(37), 100*rep.FracAtLeast(20))
+		fmt.Println("# rank\tcount")
+		for _, p := range rep.RankFreq() {
+			fmt.Printf("%d\t%d\n", p.Rank, p.Count)
+		}
+	case "annotations":
+		tr := readSongs(*in)
+		for _, a := range []qc.Annotation{qc.AnnotationSong, qc.AnnotationGenre, qc.AnnotationAlbum, qc.AnnotationArtist} {
+			rep, err := qc.Annotations(tr, a)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%s\tunique=%d\tsingleton=%.3f\tmissing=%.3f\tzipf_s=%.2f\n",
+				a, rep.Unique, rep.SingletonFrac, rep.MissingFrac, rep.Fit.S)
+		}
+	case "stability":
+		qt := readQueries(*in)
+		cfg := qc.DefaultIntervalConfig()
+		cfg.Interval = *interval
+		ivs, err := qc.Intervals(qt, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("# start\tjaccard")
+		for _, p := range qc.StabilitySeries(ivs) {
+			fmt.Printf("%d\t%.4f\n", p.Start, p.Value)
+		}
+	case "mismatch":
+		if *crawlIn == "" {
+			fail(fmt.Errorf("mismatch mode needs -crawl"))
+		}
+		qt := readQueries(*in)
+		tr := readObjects(*crawlIn)
+		cfg := qc.DefaultIntervalConfig()
+		cfg.Interval = *interval
+		ivs, err := qc.Intervals(qt, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fstar := qc.TopTerms(qc.RankedFileTerms(tr), 500)
+		fmt.Println("# start\tpopular_vs_fstar\tall_vs_fstar")
+		all := qc.AllTermsMismatchSeries(ivs, fstar)
+		for i, p := range qc.MismatchSeries(ivs, fstar) {
+			fmt.Printf("%d\t%.4f\t%.4f\n", p.Start, p.Value, all[i].Value)
+		}
+	case "transients":
+		qt := readQueries(*in)
+		pts, err := qc.Transients(qt, *interval, qc.DefaultTransientConfig())
+		if err != nil {
+			fail(err)
+		}
+		sum := qc.TransientSummary(pts)
+		fmt.Fprintf(os.Stderr, "transients: %s\n", sum)
+		fmt.Println("# start\tcount")
+		for _, p := range pts {
+			fmt.Printf("%d\t%d\n", p.Start, p.Count)
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func readObjects(path string) *qc.ObjectTrace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := qc.ReadObjectTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func readSongs(path string) *qc.SongTrace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := qc.ReadSongTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func readQueries(path string) *qc.QueryTrace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := qc.ReadQueryTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qc-analyze:", err)
+	os.Exit(1)
+}

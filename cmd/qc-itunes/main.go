@@ -1,0 +1,53 @@
+// Command qc-itunes builds the synthetic iTunes share population (with the
+// paper's password/busy/firewall funnel), crawls it over HTTP+DMAP with the
+// AppleRecords-style client and writes the observed song trace (the input
+// of Figure 4).
+//
+// Usage:
+//
+//	qc-itunes -shares 125 -songs 11000 -seed 42 -o itunes.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	qc "querycentric"
+)
+
+func main() {
+	var (
+		shares = flag.Int("shares", 125, "number of shares discovered")
+		songs  = flag.Int("songs", 11000, "number of distinct songs")
+		seed   = flag.Uint64("seed", 42, "root random seed")
+		out    = flag.String("o", "", "output trace file (default stdout)")
+	)
+	flag.Parse()
+
+	tr, stats, err := qc.ITunesCrawl(qc.ITunesCrawlConfig{
+		Seed:        *seed,
+		Shares:      *shares,
+		UniqueSongs: *songs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qc-itunes:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "qc-itunes: %s; %d records\n", stats, len(tr.Records))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qc-itunes:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "qc-itunes:", err)
+		os.Exit(1)
+	}
+}

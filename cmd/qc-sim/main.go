@@ -1,0 +1,149 @@
+// Command qc-sim runs the search simulations of Section V: TTL coverage,
+// the Figure 8 flood-success sweep, the hybrid-vs-DHT comparison, the Gia
+// rebuttal and the adaptive-synopsis ablation.
+//
+// Usage:
+//
+//	qc-sim -mode fig8     -scale default -seed 42
+//	qc-sim -mode coverage -scale default
+//	qc-sim -mode hybrid
+//	qc-sim -mode gia
+//	qc-sim -mode synopsis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	qc "querycentric"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|walk|replication|synopsis")
+		scaleName = flag.String("scale", "default", "tiny|small|default|full")
+		seed      = flag.Uint64("seed", 42, "root random seed")
+	)
+	flag.Parse()
+	scale, err := qc.ParseScale(*scaleName)
+	if err != nil {
+		fail(err)
+	}
+	env := qc.NewEnv(scale, *seed)
+	switch *mode {
+	case "coverage":
+		c, err := qc.TTLCoverage(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# %d nodes, mean query hops %.2f (paper: 2.47)\n", c.Nodes, c.MeanHops)
+		fmt.Println("# ttl\tfraction_reached")
+		for i, f := range c.Fractions {
+			fmt.Printf("%d\t%.5f\n", i+1, f)
+		}
+	case "fig8":
+		f8, err := qc.Fig8(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# %d nodes; zipf mean replicas %.2f\n", f8.Nodes, f8.ZipfMean)
+		fmt.Print("# ttl")
+		for _, c := range f8.Curves {
+			fmt.Printf("\t%s", c.Label)
+		}
+		fmt.Println()
+		for ttl := 1; ttl <= len(f8.Curves[0].Success); ttl++ {
+			fmt.Printf("%d", ttl)
+			for _, c := range f8.Curves {
+				fmt.Printf("\t%.4f", c.Success[ttl-1])
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "fig8: zipf@TTL3=%.3f vs uniform-39@TTL3=%.3f\n",
+			f8.ZipfAtTTL3, f8.Uni39AtTTL3)
+	case "hybrid":
+		h, err := qc.HybridVsDHT(env)
+		if err != nil {
+			fail(err)
+		}
+		c := h.Comparison
+		fmt.Printf("nodes\t%d\n", h.Nodes)
+		fmt.Printf("hybrid_success\t%.3f\nhybrid_mean_cost\t%.1f\n", c.HybridSuccess, c.HybridMeanCost)
+		fmt.Printf("dht_success\t%.3f\ndht_mean_cost\t%.1f\n", c.DHTSuccess, c.DHTMeanCost)
+		fmt.Printf("dht_fallback_frac\t%.3f\n", c.DHTFallbackFrac)
+	case "gia":
+		g, err := qc.GiaComparison(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\nuniform_0.5pct_success\t%.3f\nzipf_success\t%.3f\n",
+			g.Nodes, g.UniformSuccess, g.ZipfSuccess)
+	case "qrp":
+		q, err := qc.QRPEffect(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("peers\t%d\nqueries\t%d\n", q.Peers, q.Queries)
+		fmt.Printf("plain_success\t%.3f\nplain_messages\t%d\n", q.PlainSuccess, q.PlainMessages)
+		fmt.Printf("qrp_success\t%.3f\nqrp_messages\t%d\nmessage_savings\t%.1f%%\n",
+			q.QRPSuccess, q.QRPMessages, 100*q.MessageSavings)
+	case "churn":
+		c, err := qc.ChurnComparison(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\nmean_online\t%.3f\n", c.Nodes, c.MeanOnline)
+		fmt.Printf("uniform_success\t%.3f\nzipf_success\t%.3f\n", c.UniformSuccess, c.ZipfSuccess)
+	case "walk":
+		w, err := qc.WalkVsFlood(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\n", w.Nodes)
+		fmt.Printf("flood\tsuccess=%.3f\tmsgs=%.0f\n", w.FloodSuccess, w.FloodMessages)
+		fmt.Printf("walk\tsuccess=%.3f\tmsgs=%.0f\n", w.WalkSuccess, w.WalkMessages)
+		fmt.Printf("ring\tsuccess=%.3f\tmsgs=%.0f\n", w.RingSuccess, w.RingMessages)
+	case "replication":
+		r, err := qc.ReplicationStrategies(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\nbudget\t%d\n", r.Nodes, r.Budget)
+		for _, row := range r.Rows {
+			fmt.Printf("%s/%s\t%.3f\n", row.Strategy, row.Basis, row.Success)
+		}
+	case "shortcuts":
+		s, err := qc.ShortcutsExperiment(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\n", s.Nodes)
+		fmt.Printf("warmup_shortcut_hits\t%.3f\nsteady_shortcut_hits\t%.3f\nshifted_shortcut_hits\t%.3f\n",
+			s.WarmupHits, s.SteadyHits, s.ShiftedHits)
+		fmt.Printf("steady_mean_messages\t%.1f\nflood_mean_messages\t%.1f\n",
+			s.SteadyMessages, s.FloodMessages)
+	case "dht":
+		d, err := qc.DHTRouting(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\nlookups\t%d\nchord_mean_hops\t%.2f\npastry_mean_hops\t%.2f\n",
+			d.Nodes, d.Lookups, d.ChordMeanHops, d.PastryMeanHops)
+	case "synopsis":
+		s, err := qc.SynopsisAblation(env)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("nodes\t%d\nrounds\t%d\nqueries_per_round\t%d\n", s.Nodes, s.Rounds, s.QueriesPerRound)
+		fmt.Printf("flood_success\t%.3f\nstatic_synopsis_success\t%.3f\nadaptive_synopsis_success\t%.3f\n",
+			s.FloodSuccess, s.StaticSuccess, s.AdaptiveSuccess)
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qc-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command qc-track runs the online query-centric Tracker over a query
+// trace, emitting one line per evaluation interval: query volume, popular
+// set size, stability against the previous interval, and any transiently
+// popular terms. This is the paper's analysis as a streaming tool — what a
+// peer would run over its live query feed.
+//
+// Usage:
+//
+//	qc-queries -n 100000 | qc-track
+//	qc-track -in queries.trace -interval 3600 -mismatch crawl.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	qc "querycentric"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "query trace file (default stdin)")
+		interval = flag.Int64("interval", 3600, "evaluation interval in seconds")
+		crawl    = flag.String("mismatch", "", "object trace; when given, report per-interval mismatch vs its popular file terms")
+		decay    = flag.Float64("decay", 1.0, "history decay per interval in (0,1]")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	qt, err := qc.ReadQueryTrace(r)
+	if err != nil {
+		fail(err)
+	}
+
+	var fstar map[string]struct{}
+	if *crawl != "" {
+		f, err := os.Open(*crawl)
+		if err != nil {
+			fail(err)
+		}
+		tr, err := qc.ReadObjectTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fstar = qc.TopTerms(qc.RankedFileTerms(tr), 500)
+	}
+
+	cfg := qc.DefaultTrackerConfig()
+	cfg.Interval = *interval
+	cfg.HistoryDecay = *decay
+	header := "# start\tqueries\tpopular\tstability"
+	if fstar != nil {
+		header += "\tmismatch"
+	}
+	header += "\ttransients"
+	fmt.Println(header)
+	tracker, err := qc.NewTracker(cfg, func(rep *qc.IntervalReport) {
+		line := fmt.Sprintf("%d\t%d\t%d\t%.3f", rep.Start, rep.Queries, len(rep.Popular), rep.Stability)
+		if fstar != nil {
+			pop := rep.Popular
+			inter := 0
+			for t := range pop {
+				if _, ok := fstar[t]; ok {
+					inter++
+				}
+			}
+			union := len(pop) + len(fstar) - inter
+			mismatch := 0.0
+			if union > 0 {
+				mismatch = float64(inter) / float64(union)
+			}
+			line += fmt.Sprintf("\t%.3f", mismatch)
+		}
+		line += "\t" + strings.Join(rep.Transients, ",")
+		fmt.Println(line)
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, rec := range qt.Records {
+		if err := tracker.Observe(rec.Time, rec.Query); err != nil {
+			fail(err)
+		}
+	}
+	tracker.Flush()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qc-track:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package querycentric_test
+
+import (
+	"fmt"
+
+	qc "querycentric"
+)
+
+// ExampleGnutellaCrawl shows the shortest path from nothing to the
+// paper's Figure 1 statistic: crawl a synthetic network and measure how
+// many objects live on a single peer.
+func ExampleGnutellaCrawl() {
+	tr, stats, err := qc.GnutellaCrawl(qc.GnutellaCrawlConfig{
+		Seed: 1, Peers: 100, UniqueObjects: 2000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep := qc.Replicas(tr, false)
+	fmt.Println("peers crawled:", stats.Crawled)
+	fmt.Println("singleton majority:", rep.SingletonFrac > 0.5)
+	// Output:
+	// peers crawled: 100
+	// singleton majority: true
+}
+
+// ExampleNewTracker demonstrates the online query-centric engine: feed a
+// query stream, read back the interval's popular terms.
+func ExampleNewTracker() {
+	cfg := qc.DefaultTrackerConfig()
+	cfg.Interval = 60
+	cfg.MinPopularCount = 3
+	tracker, err := qc.NewTracker(cfg, nil)
+	if err != nil {
+		panic(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		tracker.Observe(i, "madonna music")
+	}
+	tracker.Observe(30, "rare zebra")
+	tracker.Flush()
+	pop := tracker.Popular()
+	_, madonna := pop["madonna"]
+	_, zebra := pop["zebra"]
+	fmt.Println("madonna popular:", madonna)
+	fmt.Println("zebra popular:", zebra)
+	// Output:
+	// madonna popular: true
+	// zebra popular: false
+}
+
+// ExampleTokenize shows the protocol tokenization the analyses use.
+func ExampleTokenize() {
+	fmt.Println(qc.Tokenize("Aaron Neville - I Don't Know Much.mp3"))
+	// Output:
+	// [aaron neville don know much mp3]
+}
+
+// ExampleSanitize shows the Figure 2 name normalization.
+func ExampleSanitize() {
+	fmt.Println(qc.Sanitize("AARON Neville- I Dont Know Much.MP3"))
+	// Output:
+	// aaronnevilleidontknowmuchmp3
+}
+
+// ExampleZipfPlacement builds the measured-style replica placement and
+// reports its headline property.
+func ExampleZipfPlacement() {
+	p, err := qc.ZipfPlacement(1000, 500, 2.45, 100, 7)
+	if err != nil {
+		panic(err)
+	}
+	single := 0
+	for _, c := range p.ReplicaCounts() {
+		if c == 1 {
+			single++
+		}
+	}
+	fmt.Println("most objects single-copy:", single > 250)
+	// Output:
+	// most objects single-copy: true
+}

@@ -1,0 +1,72 @@
+// Mismatch: the paper's central finding, end to end. Crawl a content
+// population, generate a week of queries, and show that (a) the popular
+// query vocabulary is stable over time (Figure 6) while (b) it barely
+// overlaps the popular file vocabulary (Figure 7).
+//
+//	go run ./examples/mismatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qc "querycentric"
+)
+
+func main() {
+	// Content side: crawl the synthetic network.
+	crawl, _, err := qc.GnutellaCrawl(qc.GnutellaCrawlConfig{
+		Seed: 11, Peers: 200, UniqueObjects: 6000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked := qc.RankedFileTerms(crawl)
+	fmt.Printf("crawl: %d records, %d distinct file terms\n", len(crawl.Records), len(ranked))
+
+	// Query side: a 2-day workload whose vocabulary weakly overlaps the
+	// file terms, as measured in the real network.
+	queries, err := qc.QueryWorkload(qc.QueryWorkloadConfig{
+		Seed: 12, Queries: 60000, Duration: 48 * 3600,
+		FileTerms: qc.RankedFileTermStrings(crawl),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d queries over %d hours\n\n", len(queries.Records), queries.Duration/3600)
+
+	ivs, err := qc.Intervals(queries, qc.DefaultIntervalConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 6: stability of the popular query vocabulary.
+	stab := qc.StabilitySeries(ivs)
+	var stabSum float64
+	n := 0
+	for i, p := range stab {
+		if i < 2 {
+			continue // warmup, as in the paper
+		}
+		stabSum += p.Value
+		n++
+	}
+	fmt.Printf("Figure 6 — popular-term stability: mean Jaccard %.2f (paper: >0.90)\n", stabSum/float64(n))
+
+	// Figure 7: the query/file vocabulary mismatch.
+	fstar := qc.TopTerms(ranked, 500)
+	mis := qc.MismatchSeries(ivs, fstar)
+	var misSum float64
+	for i, p := range mis {
+		if i < 2 {
+			continue
+		}
+		misSum += p.Value
+	}
+	fmt.Printf("Figure 7 — query-vs-file similarity: mean Jaccard %.2f (paper: <0.20)\n\n",
+		misSum/float64(len(mis)-2))
+
+	fmt.Println("conclusion: the terms users query for are stable, but they are")
+	fmt.Println("not the terms files are annotated with — flooding for popular")
+	fmt.Println("queries fails even though the queries themselves never change.")
+}

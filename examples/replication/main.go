@@ -1,0 +1,37 @@
+// Replication: the paper's thesis through the lens of classical
+// replica-allocation theory (Cohen & Shenker). A fixed replica budget is
+// spread over objects by uniform, proportional and square-root rules — but
+// the rules need a popularity vector, and the paper shows deployed systems
+// see *file* popularity while success is scored under *query* popularity.
+//
+//	go run ./examples/replication
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qc "querycentric"
+)
+
+func main() {
+	env := qc.NewEnv(qc.ScaleTiny, 99)
+	res, err := qc.ReplicationStrategies(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d nodes, %d-replica budget, TTL-2 floods, query-weighted success\n\n",
+		res.Nodes, res.Budget)
+	fmt.Printf("%-14s %-18s %s\n", "strategy", "popularity basis", "success")
+	for _, row := range res.Rows {
+		fmt.Printf("%-14s %-18s %.1f%%\n", row.Strategy, row.Basis, 100*row.Success)
+	}
+	fmt.Println(`
+reading the table:
+  - driven by QUERY popularity, smarter allocations beat uniform;
+  - driven by FILE popularity (same Zipf shape, mismatched ranks — the
+    paper's Figure 7), the same strategies fall to or below uniform.
+Replication policy cannot fix unstructured search unless the overlay is
+query-centric: it must observe what users ask for, not what files are
+annotated with.`)
+}

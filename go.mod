@@ -1,0 +1,3 @@
+module querycentric
+
+go 1.23

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"querycentric/internal/trace"
+)
+
+func objTrace(records ...trace.ObjectRecord) *trace.ObjectTrace {
+	peers := map[int]bool{}
+	for _, r := range records {
+		peers[r.Peer] = true
+	}
+	return &trace.ObjectTrace{Source: "test", Peers: len(peers), Records: records}
+}
+
+func TestReplicasExactCounts(t *testing.T) {
+	tr := objTrace(
+		trace.ObjectRecord{Peer: 0, Name: "A - B.mp3"},
+		trace.ObjectRecord{Peer: 1, Name: "A - B.mp3"},
+		trace.ObjectRecord{Peer: 2, Name: "A - B.mp3"},
+		trace.ObjectRecord{Peer: 0, Name: "C - D.mp3"},
+		trace.ObjectRecord{Peer: 0, Name: "C - D.mp3"}, // dup on same peer: one
+		trace.ObjectRecord{Peer: 3, Name: "E - F.mp3"},
+	)
+	rep := Replicas(tr, false)
+	if rep.Unique != 3 {
+		t.Fatalf("unique = %d, want 3", rep.Unique)
+	}
+	if rep.TotalPlacements != 5 { // 3 + 1 + 1
+		t.Errorf("placements = %d, want 5", rep.TotalPlacements)
+	}
+	if math.Abs(rep.SingletonFrac-2.0/3) > 1e-12 {
+		t.Errorf("singleton frac = %v, want 2/3", rep.SingletonFrac)
+	}
+	if got := rep.FracAtMost(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("FracAtMost(1) = %v", got)
+	}
+	if got := rep.FracAtLeast(3); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("FracAtLeast(3) = %v", got)
+	}
+	if rf := rep.RankFreq(); rf[0].Count != 3 {
+		t.Errorf("rank 1 count = %d", rf[0].Count)
+	}
+	if rep.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestReplicasUnsortedInput(t *testing.T) {
+	// Records deliberately interleaved across peers.
+	tr := objTrace(
+		trace.ObjectRecord{Peer: 2, Name: "X.mp3"},
+		trace.ObjectRecord{Peer: 0, Name: "X.mp3"},
+		trace.ObjectRecord{Peer: 2, Name: "Y.mp3"},
+		trace.ObjectRecord{Peer: 0, Name: "X.mp3"},
+		trace.ObjectRecord{Peer: 1, Name: "X.mp3"},
+	)
+	rep := Replicas(tr, false)
+	if rep.Unique != 2 {
+		t.Fatalf("unique = %d", rep.Unique)
+	}
+	for _, c := range rep.Counts {
+		if c != 3 && c != 1 {
+			t.Errorf("unexpected count %d", c)
+		}
+	}
+}
+
+func TestReplicasSanitizeMergesVariants(t *testing.T) {
+	tr := objTrace(
+		trace.ObjectRecord{Peer: 0, Name: "Aaron Neville - I Dont Know Much.mp3"},
+		trace.ObjectRecord{Peer: 1, Name: "aaron neville - i dont know much.MP3"},
+		trace.ObjectRecord{Peer: 2, Name: "AARON NEVILLE- I DONT KNOW MUCH.mp3"},
+	)
+	raw := Replicas(tr, false)
+	san := Replicas(tr, true)
+	if raw.Unique != 3 {
+		t.Errorf("raw unique = %d, want 3", raw.Unique)
+	}
+	if san.Unique != 1 {
+		t.Errorf("sanitized unique = %d, want 1", san.Unique)
+	}
+	if san.Counts[0] != 3 {
+		t.Errorf("sanitized count = %d, want 3", san.Counts[0])
+	}
+}
+
+func TestReplicasSanitizeDropsEmpty(t *testing.T) {
+	tr := objTrace(trace.ObjectRecord{Peer: 0, Name: "---"})
+	san := Replicas(tr, true)
+	if san.Unique != 0 {
+		t.Errorf("punctuation-only name survived sanitization: %d", san.Unique)
+	}
+}
+
+func TestTermPeers(t *testing.T) {
+	tr := objTrace(
+		trace.ObjectRecord{Peer: 0, Name: "Aaron Neville - Bayou.mp3"},
+		trace.ObjectRecord{Peer: 0, Name: "Aaron Again.mp3"}, // aaron counted once for peer 0
+		trace.ObjectRecord{Peer: 1, Name: "Aaron Solo.mp3"},
+	)
+	rep := TermPeers(tr)
+	// Terms: aaron(2 peers), neville(1), bayou(1), mp3(2), again(1), solo(1)
+	if rep.Unique != 6 {
+		t.Fatalf("unique terms = %d, want 6", rep.Unique)
+	}
+	twos := 0
+	for _, c := range rep.Counts {
+		if c == 2 {
+			twos++
+		}
+	}
+	if twos != 2 {
+		t.Errorf("%d terms on 2 peers, want 2 (aaron, mp3)", twos)
+	}
+}
+
+func TestRankedFileTerms(t *testing.T) {
+	tr := objTrace(
+		trace.ObjectRecord{Peer: 0, Name: "love love song.mp3"},
+		trace.ObjectRecord{Peer: 1, Name: "love story.mp3"},
+	)
+	ranked := RankedFileTerms(tr)
+	if ranked[0].Term != "love" || ranked[0].Count != 3 {
+		t.Errorf("top term = %+v, want love x3", ranked[0])
+	}
+	if ranked[1].Term != "mp3" || ranked[1].Count != 2 {
+		t.Errorf("second term = %+v, want mp3 x2", ranked[1])
+	}
+	// Determinism: ties sorted lexicographically.
+	if ranked[2].Count != 1 || ranked[3].Count != 1 {
+		t.Error("tail counts wrong")
+	}
+	if ranked[2].Term > ranked[3].Term {
+		t.Error("ties not lexicographic")
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	ranked := []TermCount{{"aa", 5}, {"bb", 3}, {"cc", 1}}
+	top := TopTerms(ranked, 2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if _, ok := top["aa"]; !ok {
+		t.Error("missing aa")
+	}
+	if got := TopTerms(ranked, 99); len(got) != 3 {
+		t.Errorf("oversized k: %d", len(got))
+	}
+}
+
+func songTrace(records ...trace.SongRecord) *trace.SongTrace {
+	peers := map[int]bool{}
+	for _, r := range records {
+		peers[r.Peer] = true
+	}
+	return &trace.SongTrace{Source: "test", Peers: len(peers), Records: records}
+}
+
+func TestAnnotations(t *testing.T) {
+	tr := songTrace(
+		trace.SongRecord{Peer: 0, Track: "Bayou", Artist: "Linda", Album: "Dreams", Genre: "Rock"},
+		trace.SongRecord{Peer: 1, Track: "Bayou", Artist: "Linda", Album: "", Genre: "Rock"},
+		trace.SongRecord{Peer: 1, Track: "Other", Artist: "Linda", Album: "Dreams", Genre: ""},
+	)
+	song, err := Annotations(tr, AnnotationSong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if song.Unique != 2 || song.MissingFrac != 0 {
+		t.Errorf("song report: %+v", song.DistReport)
+	}
+	genre, err := Annotations(tr, AnnotationGenre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genre.Unique != 1 {
+		t.Errorf("genre unique = %d", genre.Unique)
+	}
+	if math.Abs(genre.MissingFrac-1.0/3) > 1e-12 {
+		t.Errorf("genre missing = %v, want 1/3", genre.MissingFrac)
+	}
+	artist, err := Annotations(tr, AnnotationArtist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artist.Unique != 1 || artist.Counts[0] != 2 {
+		t.Errorf("artist report: unique=%d counts=%v", artist.Unique, artist.Counts)
+	}
+	album, err := Annotations(tr, AnnotationAlbum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if album.Unique != 1 || math.Abs(album.MissingFrac-1.0/3) > 1e-12 {
+		t.Errorf("album report: %+v missing=%v", album.DistReport, album.MissingFrac)
+	}
+}
+
+func TestAnnotationsUnknownKind(t *testing.T) {
+	if _, err := Annotations(songTrace(), Annotation(42)); err == nil {
+		t.Error("unknown annotation accepted")
+	}
+}
+
+func TestAnnotationString(t *testing.T) {
+	for a, want := range map[Annotation]string{
+		AnnotationSong: "song", AnnotationGenre: "genre",
+		AnnotationAlbum: "album", AnnotationArtist: "artist",
+	} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+}
+
+func TestEmptyTraces(t *testing.T) {
+	rep := Replicas(objTrace(), false)
+	if rep.Unique != 0 || rep.SingletonFrac != 0 {
+		t.Errorf("empty trace report: %+v", rep)
+	}
+	if rep.FitErr == nil {
+		t.Error("expected fit error for empty trace")
+	}
+	if got := RankedFileTerms(objTrace()); len(got) != 0 {
+		t.Errorf("ranked terms of empty trace: %v", got)
+	}
+}

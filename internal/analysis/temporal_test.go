@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"querycentric/internal/querygen"
+	"querycentric/internal/stats"
+	"querycentric/internal/trace"
+)
+
+func queryTrace(duration int64, recs ...trace.QueryRecord) *trace.QueryTrace {
+	return &trace.QueryTrace{Source: "test", Duration: duration, Records: recs}
+}
+
+func TestIntervalsValidation(t *testing.T) {
+	tr := queryTrace(100)
+	if _, err := Intervals(tr, IntervalConfig{Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := Intervals(tr, IntervalConfig{Interval: 10, PopularFrac: 2}); err == nil {
+		t.Error("bad PopularFrac accepted")
+	}
+	if _, err := Intervals(queryTrace(0), DefaultIntervalConfig()); err == nil {
+		t.Error("zero-duration trace accepted")
+	}
+	bad := queryTrace(10, trace.QueryRecord{Time: 50, Query: "x y"})
+	if _, err := Intervals(bad, IntervalConfig{Interval: 10}); err == nil {
+		t.Error("out-of-range record accepted")
+	}
+}
+
+func TestIntervalsBucketing(t *testing.T) {
+	tr := queryTrace(100,
+		trace.QueryRecord{Time: 0, Query: "madonna music"},
+		trace.QueryRecord{Time: 9, Query: "madonna"},
+		trace.QueryRecord{Time: 10, Query: "zeppelin"},
+		trace.QueryRecord{Time: 99, Query: "madonna music"},
+	)
+	ivs, err := Intervals(tr, IntervalConfig{Interval: 10, PopularFrac: 0.5, MinPopularCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 10 {
+		t.Fatalf("%d intervals, want 10", len(ivs))
+	}
+	if ivs[0].Queries != 2 || ivs[0].Volume != 3 {
+		t.Errorf("interval 0: queries=%d volume=%d", ivs[0].Queries, ivs[0].Volume)
+	}
+	if ivs[0].Counts["madonna"] != 2 {
+		t.Errorf("madonna count = %d", ivs[0].Counts["madonna"])
+	}
+	// Popular threshold: max(0.5*3, 2) = 2 ⇒ only madonna.
+	if _, ok := ivs[0].Popular["madonna"]; !ok {
+		t.Error("madonna not popular in interval 0")
+	}
+	if _, ok := ivs[0].Popular["music"]; ok {
+		t.Error("music wrongly popular")
+	}
+	if ivs[1].Queries != 1 {
+		t.Errorf("interval 1 queries = %d", ivs[1].Queries)
+	}
+	if ivs[9].Queries != 1 {
+		t.Errorf("interval 9 queries = %d", ivs[9].Queries)
+	}
+}
+
+func TestStabilitySeries(t *testing.T) {
+	mk := func(tokens ...string) *Interval {
+		iv := &Interval{Popular: map[string]struct{}{}}
+		for _, tok := range tokens {
+			iv.Popular[tok] = struct{}{}
+		}
+		return iv
+	}
+	ivs := []*Interval{
+		mk("a", "b", "c"),
+		mk("a", "b", "c"), // identical: J = 1
+		mk("a", "b", "d"), // persist {a,b} of {a,b,d}: J = 2/3
+		mk("x", "y"),      // persist {}: J = 0
+	}
+	// Give them starts.
+	for i, iv := range ivs {
+		iv.Start = int64(i * 10)
+	}
+	s := StabilitySeries(ivs)
+	if len(s) != 3 {
+		t.Fatalf("series length %d", len(s))
+	}
+	want := []float64{1, 2.0 / 3, 0}
+	for i, w := range want {
+		if diff := s[i].Value - w; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("point %d = %v, want %v", i, s[i].Value, w)
+		}
+	}
+}
+
+func TestMismatchSeries(t *testing.T) {
+	iv := &Interval{
+		Start:   0,
+		Popular: map[string]struct{}{"a": {}, "b": {}},
+		Counts:  map[string]int{"a": 5, "b": 4, "z": 1},
+	}
+	file := map[string]struct{}{"b": {}, "c": {}}
+	s := MismatchSeries([]*Interval{iv}, file)
+	if len(s) != 1 || s[0].Value != 1.0/3 {
+		t.Errorf("mismatch = %+v, want 1/3", s)
+	}
+	all := AllTermsMismatchSeries([]*Interval{iv}, file)
+	// all terms {a,b,z} vs {b,c}: J = 1/4.
+	if len(all) != 1 || all[0].Value != 0.25 {
+		t.Errorf("all-terms mismatch = %+v, want 0.25", all)
+	}
+}
+
+func TestTransientsValidation(t *testing.T) {
+	tr := queryTrace(100, trace.QueryRecord{Time: 0, Query: "xx"})
+	if _, err := Transients(tr, 0, DefaultTransientConfig()); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := Transients(tr, 10, TransientConfig{TrainFrac: 0, Ratio: 5, MinCount: 1}); err == nil {
+		t.Error("zero TrainFrac accepted")
+	}
+	if _, err := Transients(tr, 10, TransientConfig{TrainFrac: 0.5, Ratio: 0.5, MinCount: 1}); err == nil {
+		t.Error("Ratio below 1 accepted")
+	}
+	if _, err := Transients(tr, 10, TransientConfig{TrainFrac: 0.5, Ratio: 5, MinCount: 1}); err == nil {
+		t.Error("single-record trace accepted (training prefix degenerate)")
+	}
+}
+
+func TestTransientsDetectBurst(t *testing.T) {
+	// 1000 queries over 1000s: steady "alpha beta", plus a burst of
+	// "flashterm" in [600, 700).
+	var recs []trace.QueryRecord
+	for i := 0; i < 1000; i++ {
+		q := "alpha beta"
+		if i >= 600 && i < 700 && i%2 == 0 {
+			q = "flashterm gamma"
+		}
+		recs = append(recs, trace.QueryRecord{Time: int64(i), Query: q})
+	}
+	tr := queryTrace(1000, recs...)
+	pts, err := Transients(tr, 100, TransientConfig{TrainFrac: 0.2, Ratio: 4, MinCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstIntervals := 0
+	for _, p := range pts {
+		for _, term := range p.Terms {
+			if term == "alpha" || term == "beta" {
+				t.Errorf("steady term %q flagged transient at t=%d", term, p.Start)
+			}
+			if term == "flashterm" {
+				burstIntervals++
+				if p.Start < 500 || p.Start >= 700 {
+					t.Errorf("flashterm flagged outside burst window at t=%d", p.Start)
+				}
+			}
+		}
+	}
+	if burstIntervals == 0 {
+		t.Error("burst never detected")
+	}
+	sum := TransientSummary(pts)
+	if sum.N != len(pts) {
+		t.Errorf("summary N = %d", sum.N)
+	}
+}
+
+func TestTransientsNoBurstsQuietTrace(t *testing.T) {
+	var recs []trace.QueryRecord
+	for i := 0; i < 500; i++ {
+		recs = append(recs, trace.QueryRecord{Time: int64(i), Query: "steady eddy"})
+	}
+	pts, err := Transients(queryTrace(500, recs...), 50, DefaultTransientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Count != 0 {
+			t.Errorf("quiet trace flagged %d transients at t=%d: %v", p.Count, p.Start, p.Terms)
+		}
+	}
+}
+
+// --- Integration with the query generator: the three headline shapes. ---
+
+func genWorkload(t *testing.T, seed uint64, fileTerms []string) *querygen.Workload {
+	t.Helper()
+	cfg := querygen.DefaultConfig(seed)
+	cfg.Queries = 40000
+	cfg.Duration = 48 * 3600
+	cfg.TailSize = 5000
+	cfg.FileTerms = fileTerms
+	w, err := querygen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestIntegrationStabilityHigh(t *testing.T) {
+	w := genWorkload(t, 21, nil)
+	ivs, err := Intervals(w.Trace, DefaultIntervalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := StabilitySeries(ivs)
+	// Skip the warmup the paper also skips.
+	var o stats.Online
+	for _, p := range series[2:] {
+		o.Add(p.Value)
+	}
+	if o.Mean() < 0.70 {
+		t.Errorf("mean stability = %v, want > 0.70 (paper: >0.9 at full scale)", o.Mean())
+	}
+}
+
+func TestIntegrationMismatchLow(t *testing.T) {
+	// File terms: a synthetic ranked vocabulary. Overlap configured low.
+	fileTerms := make([]string, 3000)
+	for i := range fileTerms {
+		fileTerms[i] = fmt.Sprintf("fterm%04d", i)
+	}
+	w := genWorkload(t, 22, fileTerms)
+	ivs, err := Intervals(w.Trace, DefaultIntervalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fstar := make(map[string]struct{})
+	for _, s := range fileTerms[:200] {
+		fstar[s] = struct{}{}
+	}
+	series := MismatchSeries(ivs, fstar)
+	var o stats.Online
+	for _, p := range series[2:] {
+		o.Add(p.Value)
+	}
+	if o.Mean() > 0.25 {
+		t.Errorf("mean mismatch similarity = %v, want < 0.25 (paper: <0.20)", o.Mean())
+	}
+}
+
+func TestIntegrationTransientsLowMeanHighVariance(t *testing.T) {
+	w := genWorkload(t, 23, nil)
+	pts, err := Transients(w.Trace, 3600, DefaultTransientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := TransientSummary(pts)
+	if sum.Mean > 10 {
+		t.Errorf("mean transient count = %v, want < 10 (paper: low mean)", sum.Mean)
+	}
+	if sum.Max < 1 {
+		t.Error("no transients ever detected; generator bursts invisible")
+	}
+}
+
+func BenchmarkIntervals(b *testing.B) {
+	cfg := querygen.DefaultConfig(1)
+	cfg.Queries = 50000
+	cfg.Duration = 24 * 3600
+	w, err := querygen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Intervals(w.Trace, DefaultIntervalConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

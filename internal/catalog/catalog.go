@@ -1,0 +1,263 @@
+// Package catalog builds the synthetic Gnutella content population: a
+// global set of objects, a power-law replica count per object, and per-peer
+// shared libraries of file names.
+//
+// This is the substitute for the paper's Gnutella file crawls (12.1M
+// placements of 8.1M unique objects over 37,572 peers, April 2007). The
+// replica-count distribution is a discrete power law P(k) ∝ k^-α calibrated
+// so that the paper's headline marginals hold at any scale: ~70% of objects
+// on a single peer, >98% of objects on at most 37 peers, mean replication
+// ≈1.5–2. Replica placements may carry name variants (case, punctuation,
+// featuring credits, misspellings) and a configurable set of non-specific
+// names ("01 Track.wma") recurs on a large fraction of peers, as observed.
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"querycentric/internal/namegen"
+	"querycentric/internal/rng"
+	"querycentric/internal/vocab"
+	"querycentric/internal/zipf"
+)
+
+// Config sizes and shapes a content population.
+type Config struct {
+	Seed          uint64
+	Peers         int     // number of peers sharing content
+	UniqueObjects int     // number of distinct underlying objects
+	ReplicaAlpha  float64 // exponent of P(replicas = k) ∝ k^-α; paper shape ⇒ ~2.45
+	MaxReplicas   int     // cap on per-object replicas; 0 ⇒ min(Peers, 5000)
+
+	// VariantProb is the chance a replica beyond the first is shared under
+	// a perturbed name rather than the canonical one.
+	VariantProb float64
+	// NonSpecificPeerFrac is the fraction of peers that additionally share
+	// each built-in non-specific name (the paper saw "01 Track.wma" on
+	// 2,681 of 37,572 peers ≈ 7%). Zero disables.
+	NonSpecificPeerFrac float64
+
+	Vocab   vocab.Config   // vocabulary; zero value ⇒ sized from UniqueObjects
+	NameGen namegen.Config // variant model; zero value ⇒ namegen defaults
+}
+
+// DefaultConfig returns the scaled-down calibration of the paper's
+// April 2007 crawl: 1,000 peers, 81,000 unique objects.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                seed,
+		Peers:               1000,
+		UniqueObjects:       81000,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	}
+}
+
+// Object is one distinct underlying object.
+type Object struct {
+	ID       int
+	Name     string // canonical shared name
+	Replicas int    // number of peers assigned a copy
+}
+
+// Catalog is a fully built content population.
+type Catalog struct {
+	Config    Config
+	Objects   []Object
+	Libraries [][]string // Libraries[p] = file names shared by peer p
+
+	// TotalPlacements counts every (peer, name) pair including
+	// non-specific names.
+	TotalPlacements int
+}
+
+// Build constructs the population for cfg. Identical configs build
+// identical catalogs.
+func Build(cfg Config) (*Catalog, error) {
+	if cfg.Peers <= 0 {
+		return nil, fmt.Errorf("catalog: Peers must be positive, got %d", cfg.Peers)
+	}
+	if cfg.UniqueObjects <= 0 {
+		return nil, fmt.Errorf("catalog: UniqueObjects must be positive, got %d", cfg.UniqueObjects)
+	}
+	if cfg.ReplicaAlpha <= 1 {
+		return nil, fmt.Errorf("catalog: ReplicaAlpha must exceed 1, got %g", cfg.ReplicaAlpha)
+	}
+	if cfg.VariantProb < 0 || cfg.VariantProb > 1 {
+		return nil, fmt.Errorf("catalog: VariantProb out of range: %g", cfg.VariantProb)
+	}
+	if cfg.NonSpecificPeerFrac < 0 || cfg.NonSpecificPeerFrac > 1 {
+		return nil, fmt.Errorf("catalog: NonSpecificPeerFrac out of range: %g", cfg.NonSpecificPeerFrac)
+	}
+	maxRep := cfg.MaxReplicas
+	if maxRep <= 0 {
+		maxRep = cfg.Peers
+		if maxRep > 5000 {
+			maxRep = 5000
+		}
+	}
+	if maxRep > cfg.Peers {
+		maxRep = cfg.Peers
+	}
+
+	vcfg := cfg.Vocab
+	if vcfg.Artists == 0 {
+		vcfg = sizedVocab(cfg.Seed, cfg.UniqueObjects)
+	}
+	voc, err := vocab.New(vcfg)
+	if err != nil {
+		return nil, err
+	}
+	ncfg := cfg.NameGen
+	if ncfg == (namegen.Config{}) {
+		ncfg = namegen.DefaultConfig()
+	}
+	gen, err := namegen.New(voc, ncfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replica counts: P(k) ∝ k^-α over k in 1..maxRep. A zipf.Dist over
+	// "ranks" 1..maxRep with exponent α is exactly this distribution.
+	repDist, err := zipf.New(maxRep, cfg.ReplicaAlpha)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Catalog{Config: cfg}
+	c.Objects = make([]Object, cfg.UniqueObjects)
+	c.Libraries = make([][]string, cfg.Peers)
+
+	repRNG := rng.NewNamed(cfg.Seed, "catalog/replicas")
+	placeRNG := rng.NewNamed(cfg.Seed, "catalog/placement")
+	varRNG := rng.NewNamed(cfg.Seed, "catalog/variants")
+
+	// Peer propensity weights: real libraries are heterogeneous — a few
+	// peers share a huge number of files. Draw lognormal-ish weights.
+	weights := make([]float64, cfg.Peers)
+	cum := make([]float64, cfg.Peers)
+	wRNG := rng.NewNamed(cfg.Seed, "catalog/peer-weights")
+	total := 0.0
+	for i := range weights {
+		w := math.Exp(wRNG.NormFloat64() * 1.2)
+		weights[i] = w
+		total += w
+		cum[i] = total
+	}
+
+	for i := range c.Objects {
+		k := repDist.Sample(repRNG)
+		name := gen.Canonical(i)
+		c.Objects[i] = Object{ID: i, Name: name, Replicas: k}
+		for _, p := range samplePeers(placeRNG, cum, k) {
+			shared := name
+			// The first replica keeps the canonical name; later replicas
+			// may be perturbed copies.
+			if cfg.VariantProb > 0 && varRNG.Bool(cfg.VariantProb) {
+				shared = gen.Variant(name, varRNG)
+			}
+			c.Libraries[p] = append(c.Libraries[p], shared)
+			c.TotalPlacements++
+		}
+	}
+
+	// Non-specific names recur independently across peers.
+	if cfg.NonSpecificPeerFrac > 0 {
+		nsRNG := rng.NewNamed(cfg.Seed, "catalog/nonspecific")
+		for _, name := range namegen.NonSpecificNames {
+			for p := 0; p < cfg.Peers; p++ {
+				if nsRNG.Bool(cfg.NonSpecificPeerFrac) {
+					c.Libraries[p] = append(c.Libraries[p], name)
+					c.TotalPlacements++
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// sizedVocab scales the vocabulary with the object population so that name
+// collisions stay rare.
+func sizedVocab(seed uint64, uniqueObjects int) vocab.Config {
+	a := uniqueObjects / 20
+	if a < 200 {
+		a = 200
+	}
+	tt := uniqueObjects / 3
+	if tt < 1000 {
+		tt = 1000
+	}
+	al := uniqueObjects / 15
+	if al < 100 {
+		al = 100
+	}
+	return vocab.Config{Seed: seed, Artists: a, Titles: tt, Albums: al, Genres: 300, Extra: 500}
+}
+
+// samplePeers draws k distinct peer indices with probability proportional to
+// the weight increments of cum.
+func samplePeers(r *rng.Source, cum []float64, k int) []int {
+	n := len(cum)
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	// Rejection sampling; with k << n this terminates quickly. Guard with a
+	// fallback to uniform distinct sampling if rejections pile up.
+	for attempts := 0; len(out) < k && attempts < 50*k+100; attempts++ {
+		p := r.WeightedIndex(cum)
+		if _, dup := seen[p]; !dup {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	for len(out) < k {
+		p := r.Intn(n)
+		if _, dup := seen[p]; !dup {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ReplicaCounts returns the per-object replica counts (for distribution
+// analyses that want ground truth rather than crawled names).
+func (c *Catalog) ReplicaCounts() []int {
+	out := make([]int, len(c.Objects))
+	for i, o := range c.Objects {
+		out[i] = o.Replicas
+	}
+	return out
+}
+
+// MeanReplication returns mean replicas per unique object (ground truth).
+func (c *Catalog) MeanReplication() float64 {
+	if len(c.Objects) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, o := range c.Objects {
+		sum += o.Replicas
+	}
+	return float64(sum) / float64(len(c.Objects))
+}
+
+// LibrarySizes returns the number of names each peer shares, sorted
+// ascending (for heterogeneity analyses).
+func (c *Catalog) LibrarySizes() []int {
+	out := make([]int, len(c.Libraries))
+	for i, l := range c.Libraries {
+		out[i] = len(l)
+	}
+	sort.Ints(out)
+	return out
+}

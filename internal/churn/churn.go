@@ -1,0 +1,213 @@
+// Package churn simulates peer session dynamics — the defining property of
+// the systems the paper studies. Peers alternate between online and offline
+// sessions (exponential durations, as measured in Gnutella), driven by the
+// discrete-event kernel; at sampling points a TTL-bounded flood over the
+// *currently online* subgraph measures search success.
+//
+// The experiment built on this package shows that churn amplifies the
+// paper's finding: under uniform replication a query survives any single
+// departure, but under the measured Zipf placement most objects have one
+// copy, so their availability tracks a single peer's uptime.
+package churn
+
+import (
+	"fmt"
+
+	"querycentric/internal/overlay"
+	"querycentric/internal/rng"
+	"querycentric/internal/search"
+	"querycentric/internal/sim"
+)
+
+// Config shapes a churn simulation.
+type Config struct {
+	Seed uint64
+	// MeanOnline and MeanOffline are the exponential session means in
+	// seconds (Gnutella measurements put median online sessions at tens of
+	// minutes).
+	MeanOnline  float64
+	MeanOffline float64
+	// Duration is the simulated horizon in seconds.
+	Duration int64
+	// SampleEvery is the measurement period in seconds.
+	SampleEvery int64
+	// TTL bounds the measurement floods.
+	TTL int
+	// QueriesPerSample is how many (origin, object) probes each sample
+	// takes.
+	QueriesPerSample int
+}
+
+// DefaultConfig models ~50-minute online sessions with ~70% availability.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:             seed,
+		MeanOnline:       3000,
+		MeanOffline:      1200,
+		Duration:         6 * 3600,
+		SampleEvery:      600,
+		TTL:              4,
+		QueriesPerSample: 100,
+	}
+}
+
+// Sample is one measurement point.
+type Sample struct {
+	Time        int64
+	OnlineFrac  float64
+	SuccessRate float64
+}
+
+// Result is a full churn run.
+type Result struct {
+	Samples []Sample
+	// MeanSuccess averages the per-sample success rates.
+	MeanSuccess float64
+	// MeanOnline averages the online fraction (sanity: should approach
+	// MeanOnline/(MeanOnline+MeanOffline)).
+	MeanOnline float64
+}
+
+// Run simulates churn over the graph with the given placement and measures
+// flood success over time. Origins are drawn among online peers; a query
+// succeeds when some online replica is reachable through online relays
+// within the TTL.
+func Run(g *overlay.Graph, p *search.Placement, cfg Config) (*Result, error) {
+	if p.Nodes != g.N() {
+		return nil, fmt.Errorf("churn: placement covers %d nodes, graph has %d", p.Nodes, g.N())
+	}
+	if cfg.MeanOnline <= 0 || cfg.MeanOffline < 0 {
+		return nil, fmt.Errorf("churn: invalid session means %v/%v", cfg.MeanOnline, cfg.MeanOffline)
+	}
+	if cfg.Duration <= 0 || cfg.SampleEvery <= 0 || cfg.TTL < 1 || cfg.QueriesPerSample < 1 {
+		return nil, fmt.Errorf("churn: invalid schedule %+v", cfg)
+	}
+
+	n := g.N()
+	online := make([]bool, n)
+	r := rng.NewNamed(cfg.Seed, "churn/sessions")
+	k := sim.New()
+
+	// Session state machines: initialize from the stationary distribution
+	// and schedule transitions.
+	stationary := cfg.MeanOnline / (cfg.MeanOnline + cfg.MeanOffline)
+	var schedule func(v int)
+	schedule = func(v int) {
+		var d int64
+		if online[v] {
+			d = 1 + int64(r.ExpFloat64()*cfg.MeanOnline)
+		} else {
+			d = 1 + int64(r.ExpFloat64()*cfg.MeanOffline)
+		}
+		if err := k.After(d, func(int64) {
+			online[v] = !online[v]
+			schedule(v)
+		}); err != nil {
+			panic(err) // After only fails on negative delay
+		}
+	}
+	for v := 0; v < n; v++ {
+		online[v] = r.Bool(stationary)
+		schedule(v)
+	}
+
+	res := &Result{}
+	qr := rng.NewNamed(cfg.Seed, "churn/queries")
+	mark := make([]int64, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var epoch int64
+
+	measure := func(now int64) {
+		onlineCount := 0
+		for _, up := range online {
+			if up {
+				onlineCount++
+			}
+		}
+		s := Sample{Time: now, OnlineFrac: float64(onlineCount) / float64(n)}
+		if onlineCount > 0 {
+			hits := 0
+			for q := 0; q < cfg.QueriesPerSample; q++ {
+				origin := qr.Intn(n)
+				for !online[origin] {
+					origin = qr.Intn(n)
+				}
+				obj := qr.Intn(p.Objects())
+				epoch++
+				if aliveFlood(g, online, mark, epoch, origin, cfg.TTL, p.Holders[obj]) {
+					hits++
+				}
+			}
+			s.SuccessRate = float64(hits) / float64(cfg.QueriesPerSample)
+		}
+		res.Samples = append(res.Samples, s)
+	}
+	for t := cfg.SampleEvery; t <= cfg.Duration; t += cfg.SampleEvery {
+		if err := k.Schedule(t, measure); err != nil {
+			return nil, err
+		}
+	}
+	k.RunUntil(cfg.Duration)
+
+	var sSum, oSum float64
+	for _, s := range res.Samples {
+		sSum += s.SuccessRate
+		oSum += s.OnlineFrac
+	}
+	if len(res.Samples) > 0 {
+		res.MeanSuccess = sSum / float64(len(res.Samples))
+		res.MeanOnline = oSum / float64(len(res.Samples))
+	}
+	return res, nil
+}
+
+// aliveFlood runs a TTL-bounded flood from origin over online nodes only,
+// returning whether any online holder was reached (or the origin holds it).
+func aliveFlood(g *overlay.Graph, online []bool, mark []int64, epoch int64, origin, ttl int, holders []int32) bool {
+	for _, h := range holders {
+		if int(h) == origin {
+			return true
+		}
+	}
+	holderSet := make(map[int32]struct{}, len(holders))
+	for _, h := range holders {
+		if online[h] {
+			holderSet[h] = struct{}{}
+		}
+	}
+	if len(holderSet) == 0 {
+		return false
+	}
+	mark[origin] = epoch
+	frontier := make([]int32, 0, 16)
+	for _, nb := range g.Neighbors(origin) {
+		if online[nb] {
+			frontier = append(frontier, nb)
+		}
+	}
+	var next []int32
+	for hop := 1; hop <= ttl && len(frontier) > 0; hop++ {
+		next = next[:0]
+		for _, v := range frontier {
+			if mark[v] == epoch {
+				continue
+			}
+			mark[v] = epoch
+			if _, ok := holderSet[v]; ok {
+				return true
+			}
+			if hop == ttl || !g.Ultra(int(v)) {
+				continue
+			}
+			for _, nb := range g.Neighbors(int(v)) {
+				if online[nb] && mark[nb] != epoch {
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"querycentric/internal/querygen"
+	"querycentric/internal/stats"
+)
+
+func TestNewTrackerValidation(t *testing.T) {
+	bad := []TrackerConfig{
+		{Interval: 0, TransientRatio: 5, HistoryDecay: 1},
+		{Interval: 10, PopularFrac: 2, TransientRatio: 5, HistoryDecay: 1},
+		{Interval: 10, TransientRatio: 0.5, HistoryDecay: 1},
+		{Interval: 10, TransientRatio: 5, HistoryDecay: 0},
+		{Interval: 10, TransientRatio: 5, HistoryDecay: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTracker(cfg, nil); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTrackerIntervalsClose(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	cfg.Interval = 100
+	var closed []int
+	tr, err := NewTracker(cfg, func(r *IntervalReport) { closed = append(closed, r.Index) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe(0, "madonna music")
+	tr.Observe(50, "madonna")
+	tr.Observe(150, "zeppelin") // closes interval 0
+	tr.Observe(350, "zeppelin") // closes 1 and 2
+	tr.Flush()                  // closes 3
+	if len(closed) != 4 {
+		t.Fatalf("closed %d intervals: %v", len(closed), closed)
+	}
+	reports := tr.Reports()
+	if reports[0].Queries != 2 || reports[0].Volume != 3 {
+		t.Errorf("interval 0: %+v", reports[0])
+	}
+	if reports[2].Queries != 0 {
+		t.Errorf("empty interval 2 has %d queries", reports[2].Queries)
+	}
+	if reports[3].Queries != 1 {
+		t.Errorf("interval 3 has %d queries", reports[3].Queries)
+	}
+}
+
+func TestTrackerTimeMonotonic(t *testing.T) {
+	tr, _ := NewTracker(DefaultTrackerConfig(), nil)
+	tr.Observe(5000, "a b")
+	if err := tr.Observe(100, "c d"); err == nil {
+		t.Error("time regression accepted")
+	}
+}
+
+func TestTrackerPopularAndPersistence(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	cfg.Interval = 100
+	cfg.MinPopularCount = 3
+	tr, _ := NewTracker(cfg, nil)
+	// Interval 0: madonna x5, noise x1.
+	for i := int64(0); i < 5; i++ {
+		tr.Observe(i, "madonna")
+	}
+	tr.Observe(6, "noise")
+	// Interval 1: madonna x5, zeppelin x4.
+	for i := int64(100); i < 105; i++ {
+		tr.Observe(i, "madonna")
+	}
+	for i := int64(110); i < 114; i++ {
+		tr.Observe(i, "zeppelin")
+	}
+	tr.Flush()
+	reports := tr.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	if _, ok := reports[0].Popular["madonna"]; !ok {
+		t.Error("madonna not popular in interval 0")
+	}
+	if _, ok := reports[0].Popular["noise"]; ok {
+		t.Error("noise popular in interval 0")
+	}
+	if _, ok := reports[1].Persistent["madonna"]; !ok {
+		t.Error("madonna not persistent in interval 1")
+	}
+	if _, ok := reports[1].Persistent["zeppelin"]; ok {
+		t.Error("newly popular zeppelin marked persistent")
+	}
+	// Stability = |{madonna}| / |{madonna, zeppelin}| = 0.5.
+	if reports[1].Stability != 0.5 {
+		t.Errorf("stability = %v, want 0.5", reports[1].Stability)
+	}
+	if got := tr.Popular(); len(got) != 2 {
+		t.Errorf("latest popular set: %v", got)
+	}
+	if got := tr.PopularTerms(); len(got) != 2 {
+		t.Errorf("PopularTerms: %v", got)
+	}
+}
+
+func TestTrackerTransients(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	cfg.Interval = 100
+	cfg.TrainIntervals = 2
+	cfg.TransientMinCount = 5
+	cfg.TransientRatio = 4
+	tr, _ := NewTracker(cfg, nil)
+	// Two training intervals of steady traffic.
+	for iv := int64(0); iv < 2; iv++ {
+		for i := int64(0); i < 20; i++ {
+			tr.Observe(iv*100+i, "steady traffic")
+		}
+	}
+	// Interval 2: steady + a flash term.
+	for i := int64(0); i < 20; i++ {
+		tr.Observe(200+i, "steady traffic")
+	}
+	for i := int64(40); i < 50; i++ {
+		tr.Observe(200+i, "flashterm")
+	}
+	tr.Flush()
+	reports := tr.Reports()
+	last := reports[len(reports)-1]
+	foundFlash := false
+	for _, tok := range last.Transients {
+		if tok == "flashterm" {
+			foundFlash = true
+		}
+		if tok == "steady" || tok == "traffic" {
+			t.Errorf("steady term %q flagged transient", tok)
+		}
+	}
+	if !foundFlash {
+		t.Errorf("flashterm not flagged; transients = %v", last.Transients)
+	}
+}
+
+func TestTrackerNoTransientsDuringTraining(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	cfg.Interval = 100
+	cfg.TrainIntervals = 5
+	tr, _ := NewTracker(cfg, nil)
+	for i := int64(0); i < 50; i++ {
+		tr.Observe(i, "boom boom boom")
+	}
+	tr.Flush()
+	if got := tr.Reports()[0].Transients; got != nil {
+		t.Errorf("transients during training: %v", got)
+	}
+}
+
+func TestTrackerHistoryDecay(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	cfg.Interval = 100
+	cfg.TrainIntervals = 1
+	cfg.HistoryDecay = 0.5
+	cfg.TransientMinCount = 5
+	cfg.TransientRatio = 3
+	tr, err := NewTracker(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A term popular early, silent for many intervals, then returning:
+	// with decay, its historical rate fades, so the return is transient.
+	for i := int64(0); i < 20; i++ {
+		tr.Observe(i, "comeback")
+	}
+	for iv := int64(1); iv < 10; iv++ {
+		for i := int64(0); i < 20; i++ {
+			tr.Observe(iv*100+i, "filler noise")
+		}
+	}
+	for i := int64(0); i < 20; i++ {
+		tr.Observe(1000+i, "comeback")
+	}
+	tr.Flush()
+	last := tr.Reports()[len(tr.Reports())-1]
+	found := false
+	for _, tok := range last.Transients {
+		if tok == "comeback" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("decayed history did not flag the comeback: %v", last.Transients)
+	}
+}
+
+func TestTrackerMismatch(t *testing.T) {
+	cfg := DefaultTrackerConfig()
+	cfg.Interval = 100
+	cfg.MinPopularCount = 2
+	tr, _ := NewTracker(cfg, nil)
+	for i := int64(0); i < 5; i++ {
+		tr.Observe(i, "alpha beta")
+	}
+	tr.Flush()
+	file := map[string]struct{}{"beta": {}, "gamma": {}, "delta": {}}
+	// popular {alpha,beta} vs file {beta,gamma,delta}: J = 1/4.
+	if got := tr.MismatchAgainst(file); got != 0.25 {
+		t.Errorf("mismatch = %v, want 0.25", got)
+	}
+	empty, _ := NewTracker(cfg, nil)
+	if empty.MismatchAgainst(file) != 0 {
+		t.Error("mismatch before any interval should be 0")
+	}
+	if empty.Popular() != nil {
+		t.Error("Popular before any interval should be nil")
+	}
+}
+
+func TestTrackerAgainstOfflineAnalysis(t *testing.T) {
+	// The online tracker must agree with the offline interval bucketing on
+	// the same workload (same popularity definition).
+	w, err := querygen.Generate(func() querygen.Config {
+		c := querygen.DefaultConfig(31)
+		c.Queries = 20000
+		c.Duration = 12 * 3600
+		c.TailSize = 3000
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrackerConfig()
+	tr, _ := NewTracker(cfg, nil)
+	for _, rec := range w.Trace.Records {
+		if err := tr.Observe(rec.Time, rec.Query); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Flush()
+	series := tr.StabilitySeries()
+	var o stats.Online
+	for _, v := range series[2:] {
+		o.Add(v)
+	}
+	if o.Mean() < 0.70 {
+		t.Errorf("online stability mean = %v, want > 0.70", o.Mean())
+	}
+}
+
+func BenchmarkTrackerObserve(b *testing.B) {
+	tr, _ := NewTracker(DefaultTrackerConfig(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(int64(i/100), "some query terms here")
+	}
+}

@@ -1,0 +1,184 @@
+// Package crawler implements a Cruiser-style two-phase Gnutella crawler
+// against the in-process network of internal/gnet.
+//
+// Phase 1 (topology crawl) walks the overlay by dialing peers, reading the
+// X-Try-Ultrapeers handshake header and harvesting pong-cached neighbour
+// addresses from a TTL-2 ping — exactly the discovery channels deployed
+// crawlers used. Phase 2 (file crawl) re-connects to every discovered peer
+// and enumerates its shared library with a browse query. The output is a
+// trace.ObjectTrace: the only artifact downstream analyses may consume, so
+// nothing the generator knows leaks around the measurement path.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"querycentric/internal/gmsg"
+	"querycentric/internal/gnet"
+	"querycentric/internal/trace"
+)
+
+// Config controls a crawl.
+type Config struct {
+	// Seeds are bootstrap addresses. Empty defaults to the first peer.
+	Seeds []gnet.Addr
+	// MaxPeers caps how many peers are file-crawled (0 = no cap).
+	MaxPeers int
+	// PingTTL is the TTL of the discovery ping; 2 asks for pong-cached
+	// neighbours, 1 only for the peer itself.
+	PingTTL byte
+}
+
+// DefaultConfig returns the standard crawl configuration.
+func DefaultConfig() Config { return Config{PingTTL: 2} }
+
+// Stats summarizes crawl outcomes, mirroring the funnel the paper reports.
+type Stats struct {
+	Discovered int // distinct addresses learned
+	Crawled    int // peers whose library was fully read
+	Firewalled int // connection refused
+	Failed     int // other connection/protocol failures
+}
+
+// String formats the funnel for reports.
+func (s *Stats) String() string {
+	return fmt.Sprintf("discovered=%d crawled=%d firewalled=%d failed=%d",
+		s.Discovered, s.Crawled, s.Firewalled, s.Failed)
+}
+
+// Crawl performs the two-phase crawl and returns the object trace.
+func Crawl(nw *gnet.Network, cfg Config) (*trace.ObjectTrace, *Stats, error) {
+	if len(nw.Peers) == 0 {
+		return nil, nil, errors.New("crawler: empty network")
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []gnet.Addr{nw.Peers[0].Addr}
+	}
+	if cfg.PingTTL == 0 {
+		cfg.PingTTL = 2
+	}
+
+	stats := &Stats{}
+	seen := map[gnet.Addr]bool{}
+	frontier := make([]gnet.Addr, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+
+	tr := &trace.ObjectTrace{Source: "gnutella-sim-crawl"}
+	peerIndex := map[gnet.Addr]int{}
+
+	for len(frontier) > 0 {
+		addr := frontier[0]
+		frontier = frontier[1:]
+		if cfg.MaxPeers > 0 && stats.Crawled >= cfg.MaxPeers {
+			break
+		}
+		discovered, files, err := crawlOne(nw, addr, cfg.PingTTL)
+		switch {
+		case errors.Is(err, gnet.ErrFirewalled):
+			stats.Firewalled++
+		case err != nil:
+			stats.Failed++
+		default:
+			idx, ok := peerIndex[addr]
+			if !ok {
+				idx = len(peerIndex)
+				peerIndex[addr] = idx
+			}
+			stats.Crawled++
+			tr.Peers = stats.Crawled
+			for _, name := range files {
+				tr.Records = append(tr.Records, trace.ObjectRecord{Peer: idx, Name: name})
+			}
+		}
+		for _, a := range discovered {
+			if !seen[a] {
+				seen[a] = true
+				frontier = append(frontier, a)
+			}
+		}
+	}
+	stats.Discovered = len(seen)
+	return tr, stats, nil
+}
+
+// crawlOne dials one peer, discovers its neighbours and browses its
+// library. Even on failure, any addresses already learned are returned.
+func crawlOne(nw *gnet.Network, addr gnet.Addr, pingTTL byte) (discovered []gnet.Addr, files []string, err error) {
+	conn, err := nw.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+
+	h, err := gnet.Connect(conn, map[string]string{
+		"User-Agent": "querycentric-cruiser/0.1",
+		"X-Crawler":  "True",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, ok := h.Headers["x-try-ultrapeers"]; ok {
+		discovered = append(discovered, gnet.ParseTryUltrapeers(v)...)
+	}
+
+	// Send the discovery ping and the browse query back to back; the
+	// servent answers in order, so every Pong precedes the first QueryHit.
+	pingGUID := gmsg.GUIDFromUint64s(uint64(addr.Port)<<32|uint64(addr.IP[3]), 0x637261776c6572)
+	browseGUID := gmsg.GUIDFromUint64s(0x62726f777365, uint64(addr.IP[2])<<8|uint64(addr.IP[1]))
+	ping := &gmsg.Message{Header: gmsg.Header{GUID: pingGUID, Type: gmsg.TypePing, TTL: pingTTL}}
+	browse := &gmsg.Message{
+		Header: gmsg.Header{GUID: browseGUID, Type: gmsg.TypeQuery, TTL: 1},
+		Query:  &gmsg.Query{Criteria: gnet.BrowseCriteria},
+	}
+	// Write concurrently with reading: the transport may be unbuffered
+	// (net.Pipe), so the servent's responses to the ping must be drained
+	// while the browse query is still being written.
+	writeErr := make(chan error, 1)
+	go func() { writeErr <- writeAll(conn, ping, browse) }()
+	defer func() {
+		if werr := <-writeErr; werr != nil && err == nil {
+			err = werr
+		}
+	}()
+
+	for {
+		m, err := gmsg.ReadMessage(conn)
+		if err != nil {
+			return discovered, nil, fmt.Errorf("crawler: reading from %s: %w", addr, err)
+		}
+		switch m.Header.Type {
+		case gmsg.TypePong:
+			discovered = append(discovered, gnet.Addr{IP: m.Pong.IP, Port: m.Pong.Port})
+		case gmsg.TypeQueryHit:
+			for _, r := range m.QueryHit.Results {
+				files = append(files, r.FileName)
+			}
+			if len(m.QueryHit.Results) < browseBatch {
+				return discovered, files, nil
+			}
+		default:
+			// Ignore anything else.
+		}
+	}
+}
+
+// browseBatch mirrors gnet's per-QueryHit batching: a hit with fewer
+// results than this ends the browse stream.
+const browseBatch = 200
+
+func writeAll(w io.Writer, msgs ...*gmsg.Message) error {
+	for _, m := range msgs {
+		if err := gmsg.WriteMessage(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package daap
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"querycentric/internal/dmap"
+)
+
+// BusyClientLimit is iTunes' restriction: at most this many distinct
+// clients may connect to a share within 24 hours.
+const BusyClientLimit = 5
+
+// clientIPHeader carries the (simulated) source address of a crawler
+// request; the busy limit counts distinct values of it.
+const clientIPHeader = "X-Client-IP"
+
+// server is the HTTP handler for one share.
+type server struct {
+	share *Share
+
+	mu       sync.Mutex
+	sessions map[uint32]bool
+	nextSess uint32
+	clients  map[string]bool // distinct client addresses seen "today"
+}
+
+// Serve returns the DAAP HTTP handler for a share. The handler implements
+// the subset of endpoints AppleRecords used: /server-info, /login,
+// /databases and /databases/1/items.
+func Serve(s *Share) http.Handler {
+	srv := &server{share: s, sessions: map[uint32]bool{}, nextSess: 100, clients: map[string]bool{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/server-info", srv.serverInfo)
+	mux.HandleFunc("/login", srv.login)
+	mux.HandleFunc("/databases", srv.databases)
+	mux.HandleFunc("/databases/1/items", srv.items)
+	return mux
+}
+
+func writeDMAP(w http.ResponseWriter, n *dmap.Node) {
+	b, err := dmap.Encode(n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-dmap-tagged")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func (s *server) serverInfo(w http.ResponseWriter, r *http.Request) {
+	loginRequired := uint64(0)
+	if s.share.Status == StatusPassword {
+		loginRequired = 1
+	}
+	writeDMAP(w, dmap.Container("msrv",
+		dmap.Uint32("mstt", 200),
+		dmap.Version("mpro", 2, 0),
+		dmap.Version("apro", 3, 0),
+		dmap.String("minm", s.share.Name),
+		dmap.Uint("mslr", loginRequired, 1),
+		dmap.Uint("mstm", 1800, 4),
+	))
+}
+
+// login enforces the restriction model: password shares require basic auth
+// with the share's password; the busy limit rejects a sixth distinct
+// client in the window.
+func (s *server) login(w http.ResponseWriter, r *http.Request) {
+	if s.share.Status == StatusPassword {
+		_, pass, ok := r.BasicAuth()
+		if !ok || pass != s.share.Password {
+			w.Header().Set("WWW-Authenticate", `Basic realm="daap"`)
+			http.Error(w, "password required", http.StatusUnauthorized)
+			return
+		}
+	}
+	client := r.Header.Get(clientIPHeader)
+	if client == "" {
+		client = r.RemoteAddr
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.clients[client] {
+		if s.share.PriorClients+len(s.clients) >= BusyClientLimit {
+			http.Error(w, "too many connections today", http.StatusServiceUnavailable)
+			return
+		}
+		s.clients[client] = true
+	}
+	s.nextSess++
+	sess := s.nextSess
+	s.sessions[sess] = true
+	writeDMAP(w, dmap.Container("mlog",
+		dmap.Uint32("mstt", 200),
+		dmap.Uint32("mlid", sess),
+	))
+}
+
+// validSession checks the session-id query parameter.
+func (s *server) validSession(r *http.Request) bool {
+	id, err := strconv.ParseUint(r.URL.Query().Get("session-id"), 10, 32)
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[uint32(id)]
+}
+
+func (s *server) databases(w http.ResponseWriter, r *http.Request) {
+	if !s.validSession(r) {
+		http.Error(w, "invalid session", http.StatusForbidden)
+		return
+	}
+	writeDMAP(w, dmap.Container("avdb",
+		dmap.Uint32("mstt", 200),
+		dmap.Uint32("mtco", 1),
+		dmap.Uint32("mrco", 1),
+		dmap.Container("mlcl",
+			dmap.Container("mlit",
+				dmap.Uint32("miid", 1),
+				dmap.String("minm", s.share.Name),
+				dmap.Uint32("mtco", uint32(len(s.share.Songs))),
+			),
+		),
+	))
+}
+
+func (s *server) items(w http.ResponseWriter, r *http.Request) {
+	if !s.validSession(r) {
+		http.Error(w, "invalid session", http.StatusForbidden)
+		return
+	}
+	items := make([]*dmap.Node, 0, len(s.share.Songs))
+	for i, song := range s.share.Songs {
+		item := dmap.Container("mlit",
+			dmap.Uint32("miid", uint32(i+1)),
+			dmap.String("minm", song.Track),
+			dmap.String("asar", song.Artist),
+			dmap.String("asal", song.Album),
+			dmap.String("asgn", song.Genre),
+			dmap.String("asfm", "mp3"),
+			dmap.Uint32("astm", 200000),
+			dmap.Uint32("assr", 44100),
+			dmap.Uint32("asbr", 192),
+		)
+		items = append(items, item)
+	}
+	writeDMAP(w, dmap.Container("adbs",
+		dmap.Uint32("mstt", 200),
+		dmap.Uint32("mtco", uint32(len(items))),
+		dmap.Uint32("mrco", uint32(len(items))),
+		dmap.Container("mlcl", items...),
+	))
+}
+
+// statusError annotates HTTP failures with the share context.
+type statusError struct {
+	ShareID int
+	Code    int
+	Op      string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("daap: share %d: %s returned HTTP %d", e.ShareID, e.Op, e.Code)
+}

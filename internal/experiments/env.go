@@ -1,0 +1,237 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, each producing the plotted series plus the headline
+// statistics, at a configurable scale. The qc-figures command and the
+// repository benchmarks drive these runners; EXPERIMENTS.md records their
+// output against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"querycentric/internal/analysis"
+	"querycentric/internal/catalog"
+	"querycentric/internal/crawler"
+	"querycentric/internal/daap"
+	"querycentric/internal/gnet"
+	"querycentric/internal/querygen"
+	"querycentric/internal/trace"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Scales from smoke-test to paper-scale.
+const (
+	ScaleTiny  Scale = iota // CI smoke tests, < 1 s total
+	ScaleSmall              // seconds
+	ScaleDefault
+	ScaleFull // paper-scale populations; needs minutes and several GB
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleDefault:
+		return "default"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ParseScale parses a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "default", "":
+		return ScaleDefault, nil
+	case "full":
+		return ScaleFull, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (tiny|small|default|full)", s)
+}
+
+// Params are the size knobs derived from a Scale.
+type Params struct {
+	// Gnutella crawl population.
+	GnutellaPeers  int
+	UniqueObjects  int
+	FirewalledFrac float64
+	// iTunes population.
+	Shares      int
+	UniqueSongs int
+	// Query workload.
+	Queries       int
+	TraceDuration int64
+	// Flood simulation (Figure 8 / §V table).
+	SimNodes  int
+	SimTrials int
+}
+
+// ParamsFor returns the sizing for a scale. ScaleFull reproduces the
+// paper's populations (37,572 peers / 8.1M objects / 2.5M queries / 40,000
+// simulated nodes).
+func ParamsFor(s Scale) Params {
+	switch s {
+	case ScaleTiny:
+		return Params{
+			GnutellaPeers: 120, UniqueObjects: 2500, FirewalledFrac: 0,
+			Shares: 40, UniqueSongs: 1500,
+			Queries: 15000, TraceDuration: 12 * 3600,
+			SimNodes: 2000, SimTrials: 150,
+		}
+	case ScaleSmall:
+		return Params{
+			GnutellaPeers: 400, UniqueObjects: 16000, FirewalledFrac: 0.1,
+			Shares: 60, UniqueSongs: 4000,
+			Queries: 60000, TraceDuration: 48 * 3600,
+			SimNodes: 8000, SimTrials: 300,
+		}
+	case ScaleFull:
+		return Params{
+			GnutellaPeers: 37572, UniqueObjects: 8100000, FirewalledFrac: 0.1,
+			Shares: 620, UniqueSongs: 171068,
+			Queries: 2500000, TraceDuration: 7 * 24 * 3600,
+			SimNodes: 40000, SimTrials: 2000,
+		}
+	default: // ScaleDefault
+		return Params{
+			GnutellaPeers: 1000, UniqueObjects: 81000, FirewalledFrac: 0.1,
+			Shares: 125, UniqueSongs: 11000,
+			Queries: 250000, TraceDuration: 7 * 24 * 3600,
+			SimNodes: 40000, SimTrials: 600,
+		}
+	}
+}
+
+// Env builds and memoizes the shared artifacts (crawled traces, query
+// workload) so several figures can reuse one population, exactly as the
+// paper derived all of Figures 1–3 and 7 from one crawl.
+type Env struct {
+	Seed uint64
+	P    Params
+
+	mu        sync.Mutex
+	objTrace  *trace.ObjectTrace
+	objStats  *crawler.Stats
+	songTrace *trace.SongTrace
+	songStats *daap.CrawlStats
+	workload  *querygen.Workload
+	fileTerms []analysis.TermCount
+}
+
+// NewEnv creates an environment at the given scale.
+func NewEnv(scale Scale, seed uint64) *Env {
+	return &Env{Seed: seed, P: ParamsFor(scale)}
+}
+
+// ObjectTrace builds (once) the synthetic Gnutella population, runs the
+// wire-level crawler against it and returns the observed object trace.
+func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.objTrace != nil {
+		return e.objTrace, e.objStats, nil
+	}
+	cat, err := catalog.Build(catalog.Config{
+		Seed:                e.Seed,
+		Peers:               e.P.GnutellaPeers,
+		UniqueObjects:       e.P.UniqueObjects,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building catalog: %w", err)
+	}
+	gcfg := gnet.DefaultConfig(e.Seed)
+	gcfg.FirewalledFrac = e.P.FirewalledFrac
+	nw, err := gnet.NewFromCatalog(gcfg, cat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building network: %w", err)
+	}
+	tr, st, err := crawler.Crawl(nw, crawler.DefaultConfig())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: crawling: %w", err)
+	}
+	e.objTrace, e.objStats = tr, st
+	return tr, st, nil
+}
+
+// SongTrace builds (once) the iTunes share population and crawls it.
+func (e *Env) SongTrace() (*trace.SongTrace, *daap.CrawlStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.songTrace != nil {
+		return e.songTrace, e.songStats, nil
+	}
+	cfg := daap.DefaultConfig(e.Seed)
+	cfg.Shares = e.P.Shares
+	cfg.UniqueSongs = e.P.UniqueSongs
+	pop, err := daap.BuildPopulation(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building shares: %w", err)
+	}
+	tr, st, err := daap.Crawl(pop)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: crawling shares: %w", err)
+	}
+	e.songTrace, e.songStats = tr, st
+	return tr, st, nil
+}
+
+// FileTerms returns (once) the ranked file-term popularity list derived
+// from the crawled object trace.
+func (e *Env) FileTerms() ([]analysis.TermCount, error) {
+	tr, _, err := e.ObjectTrace()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fileTerms == nil {
+		e.fileTerms = analysis.RankedFileTerms(tr)
+	}
+	return e.fileTerms, nil
+}
+
+// Workload builds (once) the one-week query workload, with its vocabulary
+// overlap wired to the crawled file terms (the Figure 7 coupling).
+func (e *Env) Workload() (*querygen.Workload, error) {
+	ranked, err := e.FileTerms()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.workload != nil {
+		return e.workload, nil
+	}
+	cfg := querygen.DefaultConfig(e.Seed + 1)
+	cfg.Queries = e.P.Queries
+	cfg.Duration = e.P.TraceDuration
+	cfg.FileTerms = termStrings(ranked)
+	w, err := querygen.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating workload: %w", err)
+	}
+	e.workload = w
+	return w, nil
+}
+
+func termStrings(ranked []analysis.TermCount) []string {
+	out := make([]string, len(ranked))
+	for i, tc := range ranked {
+		out[i] = tc.Term
+	}
+	return out
+}

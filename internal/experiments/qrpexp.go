@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"querycentric/internal/catalog"
+	"querycentric/internal/gnet"
+	"querycentric/internal/rng"
+	"querycentric/internal/terms"
+)
+
+// QRPResult shows what deployed query routing can and cannot fix: QRP
+// eliminates wasted last-hop messages, but it routes on *file* terms, so it
+// cannot raise the success rate of a workload whose terms mismatch the
+// annotations — the paper's argument, in protocol form.
+type QRPResult struct {
+	Peers          int
+	Queries        int
+	PlainSuccess   float64
+	PlainMessages  int
+	QRPSuccess     float64
+	QRPMessages    int
+	MessageSavings float64 // 1 - QRPMessages/PlainMessages
+}
+
+// QRPEffect floods one workload twice over the same wire-level network —
+// without and with QRP route tables — and compares success and cost. The
+// workload mixes queries derived from real file names (findable) with
+// query-vocabulary terms (the mismatched majority, per Figure 7).
+func QRPEffect(e *Env) (*QRPResult, error) {
+	peers := e.P.GnutellaPeers / 2
+	if peers < 200 {
+		peers = 200
+	}
+	cat, err := catalog.Build(catalog.Config{
+		Seed: e.Seed + 70, Peers: peers, UniqueObjects: peers * 20, ReplicaAlpha: 2.45,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw, err := gnet.NewFromCatalog(gnet.DefaultConfig(e.Seed+70), cat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the query list: 30% findable (two tokens of a random shared
+	// name), 70% mismatched (query-vocabulary words absent from content).
+	qr := rng.NewNamed(e.Seed, "experiments/qrp-queries")
+	nQueries := e.P.SimTrials
+	if nQueries < 150 {
+		nQueries = 150
+	}
+	queries := make([]string, 0, nQueries)
+	for len(queries) < nQueries {
+		if qr.Bool(0.3) {
+			p := nw.Peers[qr.Intn(peers)]
+			if len(p.Library) == 0 {
+				continue
+			}
+			toks := terms.Tokenize(p.Library[qr.Intn(len(p.Library))].Name)
+			if len(toks) < 2 {
+				continue
+			}
+			i := qr.Intn(len(toks) - 1)
+			queries = append(queries, toks[i]+" "+toks[i+1])
+		} else {
+			queries = append(queries, "queryonly"+string(rune('a'+qr.Intn(26)))+
+				" vocabword"+string(rune('a'+qr.Intn(26))))
+		}
+	}
+
+	run := func(seed uint64) (success float64, messages int, err error) {
+		r := rng.NewNamed(seed, "experiments/qrp-run")
+		hits := 0
+		for i, q := range queries {
+			res, err := nw.Flood(i%peers, q, 4, r)
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.TotalResults > 0 {
+				hits++
+			}
+			messages += res.Messages
+		}
+		return float64(hits) / float64(len(queries)), messages, nil
+	}
+
+	out := &QRPResult{Peers: peers, Queries: len(queries)}
+	if out.PlainSuccess, out.PlainMessages, err = run(e.Seed + 71); err != nil {
+		return nil, err
+	}
+	if err := nw.EnableQRP(16); err != nil {
+		return nil, err
+	}
+	if out.QRPSuccess, out.QRPMessages, err = run(e.Seed + 71); err != nil {
+		return nil, err
+	}
+	if out.PlainMessages > 0 {
+		out.MessageSavings = 1 - float64(out.QRPMessages)/float64(out.PlainMessages)
+	}
+	return out, nil
+}

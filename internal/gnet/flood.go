@@ -1,0 +1,155 @@
+package gnet
+
+import (
+	"fmt"
+
+	"querycentric/internal/gmsg"
+	"querycentric/internal/rng"
+)
+
+// Hit is one QueryHit observed by the query originator.
+type Hit struct {
+	PeerID int
+	Files  []gmsg.Result
+	Hops   int // hops the query had taken when it was answered
+}
+
+// FloodResult summarizes one flooded query.
+type FloodResult struct {
+	GUID         gmsg.GUID
+	Criteria     string
+	TTL          int
+	PeersReached int   // peers that processed the query (excluding origin)
+	Hits         []Hit // responding peers and their matching files
+	TotalResults int   // total matching files across all hits
+	Messages     int   // query descriptors transmitted (protocol cost)
+}
+
+// Flood floods a keyword query from origin with the given TTL, following
+// the Gnutella forwarding rules: decrement TTL / increment hops per hop,
+// drop descriptors whose GUID was already seen, answer from each reached
+// peer's library. Each hop encodes and re-decodes the descriptor so the
+// wire format stays on the measurement path.
+func (nw *Network) Flood(origin int, criteria string, ttl int, r *rng.Source) (*FloodResult, error) {
+	if origin < 0 || origin >= len(nw.Peers) {
+		return nil, fmt.Errorf("gnet: origin %d out of range", origin)
+	}
+	if ttl < 1 || ttl > 255 {
+		return nil, fmt.Errorf("gnet: TTL %d out of range", ttl)
+	}
+	guid := gmsg.GUIDFromUint64s(r.Uint64(), r.Uint64())
+	q := &gmsg.Message{
+		Header: gmsg.Header{GUID: guid, Type: gmsg.TypeQuery, TTL: byte(ttl)},
+		Query:  &gmsg.Query{Criteria: criteria},
+	}
+	res := &FloodResult{GUID: guid, Criteria: criteria, TTL: ttl}
+	seen := map[int]bool{origin: true}
+
+	type envelope struct {
+		to  int
+		raw []byte
+	}
+	frontier := make([]envelope, 0, len(nw.Peers[origin].Neighbors))
+	raw, err := gmsg.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	for _, nb := range nw.Peers[origin].Neighbors {
+		frontier = append(frontier, envelope{to: nb, raw: raw})
+		res.Messages++
+	}
+
+	for len(frontier) > 0 {
+		var next []envelope
+		for _, env := range frontier {
+			if seen[env.to] {
+				continue // duplicate suppression by GUID
+			}
+			seen[env.to] = true
+			m, _, err := gmsg.Decode(env.raw)
+			if err != nil {
+				return nil, fmt.Errorf("gnet: hop decode: %w", err)
+			}
+			res.PeersReached++
+			peer := nw.Peers[env.to]
+			if files := peer.Match(m.Query.Criteria); len(files) > 0 {
+				hit := Hit{PeerID: env.to, Hops: int(m.Header.Hops) + 1}
+				for _, f := range files {
+					hit.Files = append(hit.Files, gmsg.Result{
+						FileIndex: f.Index, FileSize: f.Size, FileName: f.Name,
+					})
+				}
+				res.Hits = append(res.Hits, hit)
+				res.TotalResults += len(files)
+			}
+			// Forward if TTL remains; leaves don't forward in two-tier
+			// Gnutella (only ultrapeers relay).
+			if m.Header.TTL <= 1 {
+				continue
+			}
+			if nw.Config.UltrapeerFrac > 0 && !peer.Ultrapeer {
+				continue
+			}
+			fwd := *m
+			fwd.Header.TTL--
+			fwd.Header.Hops++
+			fraw, err := gmsg.Encode(&fwd)
+			if err != nil {
+				return nil, err
+			}
+			for _, nb := range peer.Neighbors {
+				if seen[nb] {
+					continue
+				}
+				// Last-hop QRP filtering: do not waste a message on a
+				// leaf whose route table cannot match.
+				if !nw.qrpAllows(nb, criteria) {
+					continue
+				}
+				next = append(next, envelope{to: nb, raw: fraw})
+				res.Messages++
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// Reach returns how many peers a TTL-limited flood from origin would
+// process, without matching any content (topology-only coverage).
+func (nw *Network) Reach(origin, ttl int) int {
+	if origin < 0 || origin >= len(nw.Peers) || ttl < 1 {
+		return 0
+	}
+	seen := map[int]bool{origin: true}
+	type hop struct{ id, ttl int }
+	frontier := []hop{}
+	for _, nb := range nw.Peers[origin].Neighbors {
+		frontier = append(frontier, hop{nb, ttl})
+	}
+	reached := 0
+	for len(frontier) > 0 {
+		var next []hop
+		for _, h := range frontier {
+			if seen[h.id] {
+				continue
+			}
+			seen[h.id] = true
+			reached++
+			peer := nw.Peers[h.id]
+			if h.ttl <= 1 {
+				continue
+			}
+			if nw.Config.UltrapeerFrac > 0 && !peer.Ultrapeer {
+				continue
+			}
+			for _, nb := range peer.Neighbors {
+				if !seen[nb] {
+					next = append(next, hop{nb, h.ttl - 1})
+				}
+			}
+		}
+		frontier = next
+	}
+	return reached
+}

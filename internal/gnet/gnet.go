@@ -1,0 +1,374 @@
+// Package gnet implements an in-process Gnutella 0.6 network: peers with
+// shared libraries, a two-tier (ultrapeer/leaf) or flat topology, keyword
+// query flooding over real encoded descriptors, the GNUTELLA/0.6 handshake,
+// and a wire servent that answers crawler connections.
+//
+// It is the substitute substrate for the live network the paper crawled:
+// the crawler in internal/crawler performs a genuine topology crawl (via
+// X-Try-Ultrapeers handshake headers, as Cruiser did) and file crawl (via
+// browse queries) against this network, and the downstream analyses consume
+// only what the crawler observed.
+package gnet
+
+import (
+	"fmt"
+	"sort"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/gmsg"
+	"querycentric/internal/qrp"
+	"querycentric/internal/rng"
+	"querycentric/internal/terms"
+)
+
+// Addr is a synthetic peer address.
+type Addr struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// String renders the address as "a.b.c.d:port".
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3], a.Port)
+}
+
+// File is one shared library entry.
+type File struct {
+	Index uint32
+	Size  uint32
+	Name  string
+}
+
+// Peer is one servent in the network.
+type Peer struct {
+	ID        int
+	Addr      Addr
+	Ultrapeer bool
+	ServentID gmsg.GUID
+	Neighbors []int // peer IDs of direct connections
+	Library   []File
+
+	// termIndex maps a token to the library indices of files containing it;
+	// built lazily by buildIndex.
+	termIndex map[string][]int32
+}
+
+// Config shapes the overlay topology.
+type Config struct {
+	Seed uint64
+	// UltrapeerFrac is the fraction of peers promoted to ultrapeers. Zero
+	// builds a flat random topology of degree FlatDegree.
+	UltrapeerFrac float64
+	// UltraDegree is the number of ultrapeer-to-ultrapeer connections.
+	UltraDegree int
+	// FlatDegree is the peer degree when UltrapeerFrac is zero.
+	FlatDegree int
+	// FirewalledFrac is the fraction of peers that refuse inbound crawler
+	// connections (they still participate in the overlay).
+	FirewalledFrac float64
+}
+
+// DefaultConfig is a modern-Gnutella-like two-tier topology: ~15%
+// ultrapeers, each ultrapeer keeping ~10 ultrapeer links, leaves attached
+// to 3 ultrapeers.
+func DefaultConfig(seed uint64) Config {
+	return Config{Seed: seed, UltrapeerFrac: 0.15, UltraDegree: 10, FlatDegree: 8}
+}
+
+// LeafUltras is how many ultrapeers each leaf connects to.
+const LeafUltras = 3
+
+// Network is a fully built Gnutella overlay.
+type Network struct {
+	Config     Config
+	Peers      []*Peer
+	firewalled []bool
+
+	// qrpTables[p] is leaf p's query-route table, held by its ultrapeers;
+	// nil while QRP is disabled.
+	qrpTables []*qrp.Table
+}
+
+// EnableQRP builds a QRP table for every leaf from its shared library, as
+// deployed leaves push to their ultrapeers. Floods then apply last-hop
+// filtering: an ultrapeer forwards a query to a leaf only if every query
+// keyword hits the leaf's table. Only meaningful on two-tier topologies.
+func (nw *Network) EnableQRP(bits uint) error {
+	tables := make([]*qrp.Table, len(nw.Peers))
+	for _, p := range nw.Peers {
+		if p.Ultrapeer {
+			continue
+		}
+		t, err := qrp.NewTable(bits)
+		if err != nil {
+			return err
+		}
+		for _, f := range p.Library {
+			t.AddName(f.Name)
+		}
+		// The table travels encoded, as a leaf would ship it.
+		back, err := qrp.Decode(t.Encode())
+		if err != nil {
+			return err
+		}
+		tables[p.ID] = back
+	}
+	nw.qrpTables = tables
+	return nil
+}
+
+// DisableQRP removes route tables (floods forward to every leaf again).
+func (nw *Network) DisableQRP() { nw.qrpTables = nil }
+
+// qrpAllows reports whether a query may be forwarded to peer id under the
+// current routing tables (always true when QRP is off or id is not a leaf).
+func (nw *Network) qrpAllows(id int, criteria string) bool {
+	if nw.qrpTables == nil || nw.qrpTables[id] == nil {
+		return true
+	}
+	if criteria == BrowseCriteria {
+		return true
+	}
+	return nw.qrpTables[id].MatchesQuery(criteria)
+}
+
+// New builds a network of n peers with empty libraries.
+func New(cfg Config, n int) (*Network, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("gnet: need at least 2 peers, got %d", n)
+	}
+	if cfg.UltrapeerFrac < 0 || cfg.UltrapeerFrac > 1 {
+		return nil, fmt.Errorf("gnet: UltrapeerFrac out of range: %g", cfg.UltrapeerFrac)
+	}
+	if cfg.FirewalledFrac < 0 || cfg.FirewalledFrac > 1 {
+		return nil, fmt.Errorf("gnet: FirewalledFrac out of range: %g", cfg.FirewalledFrac)
+	}
+	if cfg.UltraDegree <= 0 {
+		cfg.UltraDegree = 10
+	}
+	if cfg.FlatDegree <= 0 {
+		cfg.FlatDegree = 8
+	}
+	nw := &Network{Config: cfg, Peers: make([]*Peer, n), firewalled: make([]bool, n)}
+	idRNG := rng.NewNamed(cfg.Seed, "gnet/ids")
+	for i := 0; i < n; i++ {
+		nw.Peers[i] = &Peer{
+			ID:        i,
+			Addr:      addrFor(i),
+			ServentID: gmsg.GUIDFromUint64s(idRNG.Uint64(), idRNG.Uint64()),
+		}
+	}
+	fwRNG := rng.NewNamed(cfg.Seed, "gnet/firewalled")
+	for i := range nw.firewalled {
+		nw.firewalled[i] = fwRNG.Bool(cfg.FirewalledFrac)
+	}
+	if cfg.UltrapeerFrac > 0 {
+		nw.buildTwoTier()
+	} else {
+		nw.buildFlat()
+	}
+	return nw, nil
+}
+
+// NewFromCatalog builds a network whose peers share the libraries of a
+// content catalog. The catalog must have been built for the same number of
+// peers the network will have.
+func NewFromCatalog(cfg Config, cat *catalog.Catalog) (*Network, error) {
+	nw, err := New(cfg, len(cat.Libraries))
+	if err != nil {
+		return nil, err
+	}
+	sizeRNG := rng.NewNamed(cfg.Seed, "gnet/file-sizes")
+	for p, lib := range cat.Libraries {
+		files := make([]File, len(lib))
+		for i, name := range lib {
+			files[i] = File{
+				Index: uint32(i),
+				Size:  uint32(1<<20 + sizeRNG.Intn(7<<20)), // 1–8 MB
+				Name:  name,
+			}
+		}
+		nw.Peers[p].Library = files
+	}
+	return nw, nil
+}
+
+// addrFor derives a deterministic synthetic address for peer id.
+func addrFor(id int) Addr {
+	return Addr{
+		IP:   [4]byte{10, byte(id >> 16), byte(id >> 8), byte(id)},
+		Port: 6346,
+	}
+}
+
+// PeerByAddr returns the peer listening at addr, or nil.
+func (nw *Network) PeerByAddr(addr Addr) *Peer {
+	// addrFor is invertible for the IDs we generate.
+	id := int(addr.IP[1])<<16 | int(addr.IP[2])<<8 | int(addr.IP[3])
+	if addr.IP[0] != 10 || addr.Port != 6346 || id >= len(nw.Peers) {
+		return nil
+	}
+	return nw.Peers[id]
+}
+
+// Firewalled reports whether peer id refuses inbound crawler connections.
+func (nw *Network) Firewalled(id int) bool { return nw.firewalled[id] }
+
+// buildTwoTier wires the ultrapeer/leaf topology: ultrapeers form a random
+// graph of degree UltraDegree; each leaf attaches to LeafUltras ultrapeers.
+func (nw *Network) buildTwoTier() {
+	r := rng.NewNamed(nw.Config.Seed, "gnet/topology")
+	n := len(nw.Peers)
+	nUltra := int(float64(n) * nw.Config.UltrapeerFrac)
+	if nUltra < 2 {
+		nUltra = 2
+	}
+	perm := r.Perm(n)
+	ultras := perm[:nUltra]
+	for _, u := range ultras {
+		nw.Peers[u].Ultrapeer = true
+	}
+	// Ultrapeer mesh: connected ring + random chords up to UltraDegree.
+	for i, u := range ultras {
+		v := ultras[(i+1)%len(ultras)]
+		nw.connect(u, v)
+	}
+	for _, u := range ultras {
+		for len(nw.Peers[u].Neighbors) < nw.Config.UltraDegree {
+			v := ultras[r.Intn(len(ultras))]
+			if v == u || nw.connected(u, v) {
+				// Accept that dense small meshes may not reach the target.
+				if len(ultras) <= nw.Config.UltraDegree {
+					break
+				}
+				continue
+			}
+			if len(nw.Peers[v].Neighbors) >= nw.Config.UltraDegree+4 {
+				break // don't overload v
+			}
+			nw.connect(u, v)
+		}
+	}
+	// Leaves.
+	for _, p := range perm[nUltra:] {
+		for k := 0; k < LeafUltras && k < len(ultras); k++ {
+			u := ultras[r.Intn(len(ultras))]
+			if nw.connected(p, u) {
+				continue
+			}
+			nw.connect(p, u)
+		}
+	}
+}
+
+// buildFlat wires a flat random topology: connected ring + random chords.
+func (nw *Network) buildFlat() {
+	r := rng.NewNamed(nw.Config.Seed, "gnet/topology")
+	n := len(nw.Peers)
+	for i := 0; i < n; i++ {
+		nw.connect(i, (i+1)%n)
+	}
+	target := nw.Config.FlatDegree
+	for i := 0; i < n; i++ {
+		for attempt := 0; len(nw.Peers[i].Neighbors) < target && attempt < 20*target; attempt++ {
+			j := r.Intn(n)
+			if j == i || nw.connected(i, j) || len(nw.Peers[j].Neighbors) >= target+4 {
+				continue
+			}
+			nw.connect(i, j)
+		}
+	}
+}
+
+func (nw *Network) connect(a, b int) {
+	nw.Peers[a].Neighbors = append(nw.Peers[a].Neighbors, b)
+	nw.Peers[b].Neighbors = append(nw.Peers[b].Neighbors, a)
+}
+
+func (nw *Network) connected(a, b int) bool {
+	pa := nw.Peers[a]
+	for _, x := range pa.Neighbors {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIndex builds the peer's token → file index.
+func (p *Peer) buildIndex() {
+	p.termIndex = make(map[string][]int32)
+	for i, f := range p.Library {
+		for tok := range terms.TokenSet(f.Name) {
+			p.termIndex[tok] = append(p.termIndex[tok], int32(i))
+		}
+	}
+}
+
+// Match returns the library files matching the query criteria under the
+// Gnutella keyword rule (every query token must appear in the file name).
+func (p *Peer) Match(criteria string) []File {
+	if p.termIndex == nil {
+		p.buildIndex()
+	}
+	toks := terms.Tokenize(criteria)
+	if len(toks) == 0 {
+		return nil
+	}
+	// Intersect posting lists, starting from the rarest token.
+	sort.Slice(toks, func(i, j int) bool {
+		return len(p.termIndex[toks[i]]) < len(p.termIndex[toks[j]])
+	})
+	base := p.termIndex[toks[0]]
+	if len(base) == 0 {
+		return nil
+	}
+	var out []File
+	for _, idx := range base {
+		ok := true
+		name := terms.TokenSet(p.Library[idx].Name)
+		for _, tok := range toks[1:] {
+			if _, has := name[tok]; !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p.Library[idx])
+		}
+	}
+	return out
+}
+
+// Degrees returns the sorted degree sequence (for topology diagnostics).
+func (nw *Network) Degrees() []int {
+	out := make([]int, len(nw.Peers))
+	for i, p := range nw.Peers {
+		out[i] = len(p.Neighbors)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsConnected reports whether the overlay is a single component.
+func (nw *Network) IsConnected() bool {
+	if len(nw.Peers) == 0 {
+		return true
+	}
+	seen := make([]bool, len(nw.Peers))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range nw.Peers[v].Neighbors {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == len(nw.Peers)
+}

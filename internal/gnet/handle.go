@@ -1,0 +1,123 @@
+package gnet
+
+import (
+	"bufio"
+	"io"
+
+	"querycentric/internal/gmsg"
+)
+
+// msgConn frames gmsg descriptors over a byte stream.
+type msgConn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newMsgConn(rw io.ReadWriter) *msgConn {
+	return &msgConn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+func (c *msgConn) read() (*gmsg.Message, error) {
+	return gmsg.ReadMessage(c.r)
+}
+
+func (c *msgConn) write(m *gmsg.Message) error {
+	if err := gmsg.WriteMessage(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// handle answers one inbound descriptor on a servent connection.
+func (nw *Network) handle(p *Peer, m *gmsg.Message, c *msgConn) error {
+	switch m.Header.Type {
+	case gmsg.TypePing:
+		return nw.handlePing(p, m, c)
+	case gmsg.TypeQuery:
+		return nw.handleQuery(p, m, c)
+	default:
+		// Pongs, pushes and query hits arriving at a servent that didn't
+		// ask for them are dropped, per the spec's routing rules.
+		return nil
+	}
+}
+
+// handlePing answers with a Pong for the peer itself and, if the ping's TTL
+// permits onward travel, cached Pongs for each neighbour (pong caching —
+// this is what let crawlers discover topology quickly).
+func (nw *Network) handlePing(p *Peer, m *gmsg.Message, c *msgConn) error {
+	kb := uint32(0)
+	for _, f := range p.Library {
+		kb += f.Size / 1024
+	}
+	self := &gmsg.Message{
+		Header: gmsg.Header{GUID: m.Header.GUID, Type: gmsg.TypePong, TTL: m.Header.Hops + 1},
+		Pong: &gmsg.Pong{
+			Port: p.Addr.Port, IP: p.Addr.IP,
+			FilesCount: uint32(len(p.Library)), KBShared: kb,
+		},
+	}
+	if err := c.write(self); err != nil {
+		return err
+	}
+	if m.Header.TTL <= 1 {
+		return nil
+	}
+	for _, nb := range p.Neighbors {
+		q := nw.Peers[nb]
+		pong := &gmsg.Message{
+			Header: gmsg.Header{GUID: m.Header.GUID, Type: gmsg.TypePong, TTL: m.Header.Hops + 1, Hops: 1},
+			Pong: &gmsg.Pong{
+				Port: q.Addr.Port, IP: q.Addr.IP,
+				FilesCount: uint32(len(q.Library)),
+			},
+		}
+		if err := c.write(pong); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleQuery answers a keyword query (or a BrowseCriteria enumeration)
+// with QueryHit descriptors, batching results to the wire limit. A query
+// that matches nothing is answered with an empty QueryHit so that
+// synchronous callers (the crawler) see a definite end of results; real
+// servents stay silent, but the extra descriptor changes nothing the
+// analyses measure.
+func (nw *Network) handleQuery(p *Peer, m *gmsg.Message, c *msgConn) error {
+	var files []File
+	if m.Query.Criteria == BrowseCriteria {
+		files = p.Library
+	} else {
+		files = p.Match(m.Query.Criteria)
+	}
+	// The stream ends at the first batch carrying fewer than
+	// maxResultsPerHit results (possibly zero).
+	for start := 0; ; {
+		end := start + maxResultsPerHit
+		if end > len(files) {
+			end = len(files)
+		}
+		qh := &gmsg.QueryHit{
+			Port: p.Addr.Port, IP: p.Addr.IP, Speed: 1000,
+			ServentID: p.ServentID,
+		}
+		for _, f := range files[start:end] {
+			qh.Results = append(qh.Results, gmsg.Result{
+				FileIndex: f.Index, FileSize: f.Size, FileName: f.Name,
+			})
+		}
+		msg := &gmsg.Message{
+			Header:   gmsg.Header{GUID: m.Header.GUID, Type: gmsg.TypeQueryHit, TTL: m.Header.Hops + 1},
+			QueryHit: qh,
+		}
+		if err := c.write(msg); err != nil {
+			return err
+		}
+		if end-start < maxResultsPerHit {
+			return nil
+		}
+		start = end
+	}
+}

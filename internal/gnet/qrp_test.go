@@ -1,0 +1,127 @@
+package gnet
+
+import (
+	"testing"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/rng"
+)
+
+func qrpNet(t *testing.T) *Network {
+	t.Helper()
+	cat, err := catalog.Build(catalog.Config{
+		Seed: 17, Peers: 400, UniqueObjects: 8000, ReplicaAlpha: 2.45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewFromCatalog(DefaultConfig(17), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestQRPNoFalseNegatives(t *testing.T) {
+	nw := qrpNet(t)
+	// Collect some real (origin, query) pairs that succeed without QRP,
+	// then verify QRP filtering never loses them.
+	type probe struct {
+		origin  int
+		query   string
+		results int
+	}
+	var probes []probe
+	r := rng.New(18)
+	for p := 0; p < 400 && len(probes) < 20; p++ {
+		if len(nw.Peers[p].Library) == 0 {
+			continue
+		}
+		name := nw.Peers[p].Library[0].Name
+		toks := nw.Peers[p].Match(name)
+		if len(toks) == 0 {
+			continue
+		}
+		origin := (p + 37) % 400
+		res, err := nw.Flood(origin, name, 4, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalResults > 0 {
+			probes = append(probes, probe{origin, name, res.TotalResults})
+		}
+	}
+	if len(probes) < 5 {
+		t.Fatalf("only %d probes gathered", len(probes))
+	}
+	if err := nw.EnableQRP(16); err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(18)
+	for _, pr := range probes {
+		res, err := nw.Flood(pr.origin, pr.query, 4, r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalResults < pr.results {
+			t.Errorf("QRP lost results for %q: %d < %d", pr.query, res.TotalResults, pr.results)
+		}
+	}
+}
+
+func TestQRPSavesMessages(t *testing.T) {
+	nw := qrpNet(t)
+	queries := []string{
+		"completely absent terms", "zanzibar xylophone quux",
+		"nonexistent aaa bbb", "qqqq wwww eeee",
+	}
+	run := func() int {
+		total := 0
+		r := rng.New(19)
+		for i, q := range queries {
+			res, err := nw.Flood(i*13%400, q, 5, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Messages
+		}
+		return total
+	}
+	before := run()
+	if err := nw.EnableQRP(16); err != nil {
+		t.Fatal(err)
+	}
+	after := run()
+	if after >= before {
+		t.Errorf("QRP did not reduce messages: %d -> %d", before, after)
+	}
+	// For queries matching nothing, every leaf hop should be filtered:
+	// savings must be substantial (leaves are ~85% of the network).
+	if float64(after) > 0.6*float64(before) {
+		t.Errorf("QRP savings too small: %d -> %d", before, after)
+	}
+	nw.DisableQRP()
+	if again := run(); again != before {
+		t.Errorf("DisableQRP did not restore behaviour: %d vs %d", again, before)
+	}
+}
+
+func TestQRPBrowseUnaffected(t *testing.T) {
+	nw := qrpNet(t)
+	if err := nw.EnableQRP(16); err != nil {
+		t.Fatal(err)
+	}
+	// qrpAllows must never block a browse (it has no keywords).
+	for p := range nw.Peers {
+		if !nw.qrpAllows(p, BrowseCriteria) {
+			t.Fatalf("browse blocked at peer %d", p)
+		}
+	}
+}
+
+func TestQRPInvalidBits(t *testing.T) {
+	nw := qrpNet(t)
+	if err := nw.EnableQRP(0); err == nil {
+		t.Error("bits=0 accepted")
+	}
+}

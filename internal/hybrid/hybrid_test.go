@@ -1,0 +1,200 @@
+package hybrid
+
+import (
+	"testing"
+
+	"querycentric/internal/overlay"
+	"querycentric/internal/rng"
+	"querycentric/internal/search"
+)
+
+func buildSystem(t *testing.T, placement *search.Placement, n int) *System {
+	t.Helper()
+	g, err := overlay.NewGnutella(n, overlay.DefaultGnutellaConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, placement, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHybridAlwaysFindsPublished(t *testing.T) {
+	p, err := search.ZipfPlacement(1000, 200, 2.45, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, p, 1000)
+	r := rng.New(6)
+	for i := 0; i < 100; i++ {
+		res, err := s.Search(r.Intn(1000), r.Intn(200), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("trial %d: published object not found (res=%+v)", i, res)
+		}
+	}
+}
+
+func TestRareRuleTriggersDHT(t *testing.T) {
+	// Single-replica objects: floods can't find 20 results, so every
+	// query must fall back to the DHT.
+	p, err := search.UniformPlacement(500, 50, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, p, 500)
+	res, err := s.Search(3, 10, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UsedDHT {
+		t.Error("rare query did not fall back to DHT")
+	}
+	if !res.Found {
+		t.Error("DHT fallback failed to find the object")
+	}
+	if res.FloodMessages == 0 {
+		t.Error("no flooding cost recorded before fallback")
+	}
+}
+
+func TestPopularObjectAvoidsDHT(t *testing.T) {
+	// Plant an object on 40% of nodes: a TTL-3 flood sees >= 20 of them.
+	p, err := search.UniformPlacement(500, 5, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, p, 500)
+	// Pick an origin that does not hold object 0, so the flood actually
+	// runs and must gather >= 20 results on its own.
+	origin := -1
+	holders := map[int32]bool{}
+	for _, h := range p.Holders[0] {
+		holders[h] = true
+	}
+	for v := 0; v < 500; v++ {
+		if !holders[int32(v)] {
+			origin = v
+			break
+		}
+	}
+	res, err := s.Search(origin, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedDHT {
+		t.Errorf("widely replicated object triggered DHT fallback (results=%d)", res.FloodResults)
+	}
+	if !res.Found {
+		t.Error("widely replicated object not found by flood")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	p, _ := search.UniformPlacement(100, 5, 1, 9)
+	s := buildSystem(t, p, 100)
+	if _, err := s.Search(0, 0, Config{FloodTTL: 0, RareThreshold: 20}); err == nil {
+		t.Error("zero TTL accepted")
+	}
+	if _, err := s.Search(0, 0, Config{FloodTTL: 2, RareThreshold: 0}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestDHTOnly(t *testing.T) {
+	p, _ := search.UniformPlacement(300, 20, 2, 10)
+	s := buildSystem(t, p, 300)
+	res, err := s.DHTOnly(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || !res.UsedDHT {
+		t.Errorf("DHTOnly result: %+v", res)
+	}
+	if res.FloodMessages != 0 {
+		t.Error("DHTOnly incurred flooding cost")
+	}
+}
+
+func TestCompareHybridCostsMoreUnderZipf(t *testing.T) {
+	// The paper's claim: under the observed Zipf placement, hybrid search
+	// pays flood + DHT for nearly every query, so its mean cost exceeds
+	// pure DHT while success is identical (both end at the DHT).
+	p, err := search.ZipfPlacement(1000, 300, 2.45, 100, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, p, 1000)
+	pick := func(r *rng.Source) int { return r.Intn(300) }
+	c, err := s.Compare(DefaultConfig(), 150, pick, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HybridSuccess < 0.99 || c.DHTSuccess < 0.99 {
+		t.Errorf("success rates: hybrid=%v dht=%v", c.HybridSuccess, c.DHTSuccess)
+	}
+	if c.HybridMeanCost <= c.DHTMeanCost {
+		t.Errorf("hybrid mean cost %v not above DHT %v under Zipf placement",
+			c.HybridMeanCost, c.DHTMeanCost)
+	}
+	if c.DHTFallbackFrac < 0.9 {
+		t.Errorf("DHT fallback fraction %v, expected nearly all queries rare", c.DHTFallbackFrac)
+	}
+}
+
+func TestPublishCostRecorded(t *testing.T) {
+	p, _ := search.UniformPlacement(200, 50, 3, 13)
+	s := buildSystem(t, p, 200)
+	if s.PublishHops <= 0 {
+		t.Error("no publish cost recorded")
+	}
+}
+
+func BenchmarkHybridSearch(b *testing.B) {
+	g, err := overlay.NewGnutella(5000, overlay.DefaultGnutellaConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := search.ZipfPlacement(5000, 500, 2.45, 500, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(g, p, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(i%5000, i%500, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDHTOnlyMissingObjectStillRoutes(t *testing.T) {
+	// DHTOnly on a valid object always finds it; corrupting the search by
+	// querying with an origin that equals a holder should also work.
+	p, _ := search.UniformPlacement(120, 10, 1, 21)
+	s := buildSystem(t, p, 120)
+	holder := int(p.Holders[2][0])
+	res, err := s.DHTOnly(holder, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("DHT lookup from the holder itself failed")
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	p, _ := search.UniformPlacement(100, 5, 1, 22)
+	s := buildSystem(t, p, 100)
+	if _, err := s.Compare(DefaultConfig(), 0, func(r *rng.Source) int { return 0 }, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package pastry
+
+import (
+	"math"
+	"testing"
+
+	"querycentric/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	id := uint64(0xfedcba9876543210)
+	want := []int{0xf, 0xe, 0xd, 0xc, 0xb, 0xa, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	for i, w := range want {
+		if got := digit(id, i); got != w {
+			t.Errorf("digit %d = %x, want %x", i, got, w)
+		}
+	}
+}
+
+func TestSharedPrefixLen(t *testing.T) {
+	tests := []struct {
+		a, b uint64
+		want int
+	}{
+		{0, 0, Digits},
+		{0xff00000000000000, 0xfe00000000000000, 1},
+		{0xff00000000000000, 0x0f00000000000000, 0},
+		{0x1234567800000000, 0x1234567900000000, 7},
+	}
+	for _, tc := range tests {
+		if got := sharedPrefixLen(tc.a, tc.b); got != tc.want {
+			t.Errorf("sharedPrefixLen(%x, %x) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	// Row 0, column 5: all IDs starting with digit 5.
+	lo, hi := prefixRange(0xabcdef0000000000, 0, 5)
+	if lo != 0x5000000000000000 || hi != 0x5fffffffffffffff {
+		t.Errorf("row0 range = [%x, %x]", lo, hi)
+	}
+	// Row 1 of an ID starting 0xA, column 3: IDs starting 0xa3.
+	lo, hi = prefixRange(0xabcdef0000000000, 1, 3)
+	if lo != 0xa300000000000000 || hi != 0xa3ffffffffffffff {
+		t.Errorf("row1 range = [%x, %x]", lo, hi)
+	}
+}
+
+func TestOwnerIsNumericallyClosest(t *testing.T) {
+	m, err := New(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(3)
+	for trial := 0; trial < 300; trial++ {
+		key := g.Uint64()
+		owner := m.Owner(key)
+		for _, n := range m.nodes {
+			if absDist(n.ID, key) < absDist(owner.ID, key) {
+				t.Fatalf("node %x closer to key %x than owner %x", n.ID, key, owner.ID)
+			}
+		}
+	}
+}
+
+func TestLookupCorrectness(t *testing.T) {
+	m, err := New(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(5)
+	for trial := 0; trial < 400; trial++ {
+		key := g.Uint64()
+		from := m.NodeByIndex(g.Intn(1000))
+		owner, hops, err := m.Lookup(key, from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != m.Owner(key) {
+			t.Fatalf("wrong owner for %x", key)
+		}
+		if hops < 0 || hops > Digits+8 {
+			t.Fatalf("hops = %d", hops)
+		}
+	}
+}
+
+func TestLookupLogarithmicHops(t *testing.T) {
+	m, err := New(4096, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(7)
+	total := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		_, hops, err := m.Lookup(g.Uint64(), m.NodeByIndex(g.Intn(4096)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / trials
+	// Pastry routes in ~log_16(N) hops: log_16(4096) = 3.
+	if mean > 2*math.Log(4096)/math.Log(16) {
+		t.Errorf("mean hops %.2f, want ~%.1f", mean, math.Log(4096)/math.Log(16))
+	}
+	if mean < 0.5 {
+		t.Errorf("mean hops %.2f suspiciously small", mean)
+	}
+}
+
+func TestPastryBeatsChordOnHops(t *testing.T) {
+	// With 16-way branching Pastry should need roughly a quarter of
+	// Chord's binary-branching hops. We only assert it's strictly better
+	// on average at equal size.
+	m, err := New(2048, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(9)
+	total := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		_, hops, err := m.Lookup(g.Uint64(), m.NodeByIndex(g.Intn(2048)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	pastryMean := float64(total) / trials
+	chordExpected := math.Log2(2048) / 2 // ~5.5, Chord's typical half-log2
+	if pastryMean >= chordExpected {
+		t.Errorf("pastry mean hops %.2f not below Chord-like %.2f", pastryMean, chordExpected)
+	}
+}
+
+func TestLookupFromOwner(t *testing.T) {
+	m, _ := New(64, 10)
+	n := m.nodes[5]
+	owner, hops, err := m.Lookup(n.ID, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != n || hops != 0 {
+		t.Errorf("self lookup: hops=%d", hops)
+	}
+	if _, _, err := m.Lookup(1, nil); err == nil {
+		t.Error("nil start accepted")
+	}
+}
+
+func TestSingleNodeMesh(t *testing.T) {
+	m, err := New(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, hops, err := m.Lookup(0xdeadbeef, m.NodeByIndex(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != m.NodeByIndex(0) || hops != 0 {
+		t.Errorf("single-node lookup: hops=%d", hops)
+	}
+}
+
+func TestDeterministicMesh(t *testing.T) {
+	a, _ := New(200, 12)
+	b, _ := New(200, 12)
+	for i := range a.nodes {
+		if a.nodes[i].ID != b.nodes[i].ID {
+			t.Fatal("IDs differ across builds")
+		}
+	}
+	g := rng.New(13)
+	for i := 0; i < 50; i++ {
+		key := g.Uint64()
+		_, ha, _ := a.Lookup(key, a.NodeByIndex(7))
+		_, hb, _ := b.Lookup(key, b.NodeByIndex(7))
+		if ha != hb {
+			t.Fatal("lookups differ across builds")
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	m, err := New(10000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Lookup(g.Uint64(), m.NodeByIndex(i%10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package replication
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"querycentric/internal/rng"
+	"querycentric/internal/zipf"
+)
+
+func zipfPopularity(m int, s float64) []float64 {
+	d, _ := zipf.New(m, s)
+	out := make([]float64, m)
+	for i := 1; i <= m; i++ {
+		out[i-1] = d.Prob(i)
+	}
+	return out
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(Uniform, nil, 10, 5); err == nil {
+		t.Error("empty popularity accepted")
+	}
+	if _, err := Allocate(Uniform, []float64{1}, 10, 0); err == nil {
+		t.Error("maxPer 0 accepted")
+	}
+	if _, err := Allocate(Uniform, []float64{-1}, 10, 5); err == nil {
+		t.Error("negative popularity accepted")
+	}
+	if _, err := Allocate(Strategy(9), []float64{1}, 10, 5); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestAllocateBudgetExact(t *testing.T) {
+	pop := zipfPopularity(100, 1.0)
+	for _, s := range []Strategy{Uniform, Proportional, SquareRoot} {
+		counts, err := Allocate(s, pop, 1000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, c := range counts {
+			if c < 1 {
+				t.Fatalf("%s produced count %d below minimum", s, c)
+			}
+			sum += c
+		}
+		if sum != 1000 {
+			t.Errorf("%s allocated %d, want 1000", s, sum)
+		}
+	}
+}
+
+func TestAllocateMaxPerCap(t *testing.T) {
+	pop := zipfPopularity(10, 1.2)
+	counts, err := Allocate(Proportional, pop, 500, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c > 20 {
+			t.Errorf("object %d has %d replicas above cap", i, c)
+		}
+	}
+}
+
+func TestUniformIsFlat(t *testing.T) {
+	pop := zipfPopularity(50, 1.0)
+	counts, _ := Allocate(Uniform, pop, 500, 500)
+	for _, c := range counts {
+		if c != 10 {
+			t.Fatalf("uniform counts not flat: %v", counts)
+		}
+	}
+}
+
+func TestProportionalFollowsPopularity(t *testing.T) {
+	pop := []float64{8, 4, 2, 1, 1}
+	counts, _ := Allocate(Proportional, pop, 160, 1000)
+	if counts[0] <= counts[1] || counts[1] <= counts[2] {
+		t.Errorf("proportional counts not ordered: %v", counts)
+	}
+	// Ratios approximate popularity ratios.
+	if r := float64(counts[0]) / float64(counts[1]); r < 1.5 || r > 2.5 {
+		t.Errorf("head ratio %v, want ~2", r)
+	}
+}
+
+func TestSquareRootBetweenUniformAndProportional(t *testing.T) {
+	pop := zipfPopularity(100, 1.0)
+	uni, _ := Allocate(Uniform, pop, 2000, 2000)
+	pro, _ := Allocate(Proportional, pop, 2000, 2000)
+	sqr, _ := Allocate(SquareRoot, pop, 2000, 2000)
+	// Head object: uniform < sqrt < proportional.
+	if !(uni[0] <= sqr[0] && sqr[0] <= pro[0]) {
+		t.Errorf("head counts: uni=%d sqrt=%d prop=%d", uni[0], sqr[0], pro[0])
+	}
+	// Tail object: proportional < sqrt < uniform (weak inequalities).
+	last := len(pop) - 1
+	if !(pro[last] <= sqr[last] && sqr[last] <= uni[last]) {
+		t.Errorf("tail counts: uni=%d sqrt=%d prop=%d", uni[last], sqr[last], pro[last])
+	}
+}
+
+func TestSquareRootMinimizesSearchSize(t *testing.T) {
+	// The Cohen–Shenker theorem: square-root allocation minimizes expected
+	// search size when the allocation uses the query distribution.
+	pop := zipfPopularity(200, 1.0)
+	const nodes, budget = 10000, 4000
+	var sizes [3]float64
+	for i, s := range []Strategy{Uniform, Proportional, SquareRoot} {
+		counts, err := Allocate(s, pop, budget, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i], err = ExpectedSearchSize(counts, pop, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(sizes[2] < sizes[0] && sizes[2] < sizes[1]) {
+		t.Errorf("square-root %v not below uniform %v and proportional %v",
+			sizes[2], sizes[0], sizes[1])
+	}
+}
+
+func TestMismatchDestroysAllocationAdvantage(t *testing.T) {
+	// The paper's thesis, quantitatively: allocate by FILE popularity but
+	// score by QUERY popularity (an uncorrelated permutation). The
+	// sqrt-by-file advantage over uniform must collapse relative to
+	// sqrt-by-query.
+	const m, nodes, budget, probe = 300, 5000, 6000, 50
+	qPop := zipfPopularity(m, 1.0)
+	fPop := make([]float64, m)
+	perm := rng.New(7).Perm(m)
+	for i, j := range perm {
+		fPop[i] = qPop[j] // file popularity: same shape, shuffled ranks
+	}
+	succ := func(strategy Strategy, basis []float64) float64 {
+		counts, err := Allocate(strategy, basis, budget, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ExpectedSuccess(counts, qPop, nodes, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	uniform := succ(Uniform, qPop)
+	byQuery := succ(SquareRoot, qPop)
+	byFile := succ(SquareRoot, fPop)
+	if byQuery <= uniform {
+		t.Errorf("query-driven sqrt %v not above uniform %v", byQuery, uniform)
+	}
+	gainQuery := byQuery - uniform
+	gainFile := byFile - uniform
+	if gainFile > gainQuery/2 {
+		t.Errorf("file-driven allocation kept too much advantage: %v vs %v", gainFile, gainQuery)
+	}
+}
+
+func TestExpectedSuccessBounds(t *testing.T) {
+	counts := []int{1, 100}
+	q := []float64{0.5, 0.5}
+	s, err := ExpectedSuccess(counts, q, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s > 1 {
+		t.Errorf("success %v out of range", s)
+	}
+	// Full replication ⇒ certain success.
+	s, _ = ExpectedSuccess([]int{100}, []float64{1}, 100, 1)
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("full replication success %v", s)
+	}
+	if _, err := ExpectedSuccess([]int{1}, []float64{1, 2}, 10, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ExpectedSuccess([]int{1}, []float64{0}, 10, 1); err == nil {
+		t.Error("zero popularity accepted")
+	}
+}
+
+func TestQuickAllocateInvariants(t *testing.T) {
+	f := func(raw []uint8, budgetRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		pop := make([]float64, len(raw))
+		for i, v := range raw {
+			pop[i] = float64(v)
+		}
+		budget := int(budgetRaw)
+		counts, err := Allocate(SquareRoot, pop, budget, 1<<20)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range counts {
+			if c < 1 {
+				return false
+			}
+			sum += c
+		}
+		want := budget
+		if want < len(pop) {
+			want = len(pop)
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Uniform: "uniform", Proportional: "proportional", SquareRoot: "square-root",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if Strategy(7).String() == "" {
+		t.Error("unknown strategy String empty")
+	}
+}
+
+func BenchmarkAllocate(b *testing.B) {
+	pop := zipfPopularity(10000, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Allocate(SquareRoot, pop, 50000, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package search implements the object-location mechanisms compared in the
+// paper's Section V simulation: TTL-bounded flooding, expanding ring, and
+// k-walker random walks over an overlay graph, against configurable replica
+// placements (uniform with fixed replica counts, or the power-law placement
+// observed in real systems).
+//
+// The central quantity is the Figure 8 one: the probability that a
+// TTL-bounded search from a random origin locates any replica of a target
+// object, as a function of TTL and of the placement model.
+package search
+
+import (
+	"fmt"
+
+	"querycentric/internal/overlay"
+	"querycentric/internal/rng"
+	"querycentric/internal/zipf"
+)
+
+// Placement assigns object replicas to nodes.
+type Placement struct {
+	Nodes   int
+	Holders [][]int32 // Holders[obj] = nodes holding a replica of obj
+}
+
+// Objects returns the number of placed objects.
+func (p *Placement) Objects() int { return len(p.Holders) }
+
+// MeanReplicas returns the mean replica count per object.
+func (p *Placement) MeanReplicas() float64 {
+	if len(p.Holders) == 0 {
+		return 0
+	}
+	total := 0
+	for _, h := range p.Holders {
+		total += len(h)
+	}
+	return float64(total) / float64(len(p.Holders))
+}
+
+// ReplicaCounts returns the per-object replica counts.
+func (p *Placement) ReplicaCounts() []int {
+	out := make([]int, len(p.Holders))
+	for i, h := range p.Holders {
+		out[i] = len(h)
+	}
+	return out
+}
+
+// UniformPlacement places each of objects on exactly replicas distinct
+// random nodes — the model prior P2P evaluations assumed (the paper varies
+// replicas over 1, 4, 9, 19, 39 on 40,000 nodes).
+func UniformPlacement(nodes, objects, replicas int, seed uint64) (*Placement, error) {
+	if nodes <= 0 || objects <= 0 {
+		return nil, fmt.Errorf("search: nodes and objects must be positive")
+	}
+	if replicas < 1 || replicas > nodes {
+		return nil, fmt.Errorf("search: replicas %d out of range [1,%d]", replicas, nodes)
+	}
+	r := rng.NewNamed(seed, "search/uniform-placement")
+	p := &Placement{Nodes: nodes, Holders: make([][]int32, objects)}
+	for i := range p.Holders {
+		idx := r.SampleInts(nodes, replicas)
+		h := make([]int32, replicas)
+		for j, v := range idx {
+			h[j] = int32(v)
+		}
+		p.Holders[i] = h
+	}
+	return p, nil
+}
+
+// ZipfPlacement draws each object's replica count from the truncated power
+// law P(k) ∝ k^-alpha, k ∈ [1, maxReplicas] — the distribution the paper
+// measured in deployed systems — and places the replicas on distinct random
+// nodes.
+func ZipfPlacement(nodes, objects int, alpha float64, maxReplicas int, seed uint64) (*Placement, error) {
+	if nodes <= 0 || objects <= 0 {
+		return nil, fmt.Errorf("search: nodes and objects must be positive")
+	}
+	if maxReplicas <= 0 || maxReplicas > nodes {
+		maxReplicas = nodes
+	}
+	dist, err := zipf.New(maxReplicas, alpha)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.NewNamed(seed, "search/zipf-placement")
+	p := &Placement{Nodes: nodes, Holders: make([][]int32, objects)}
+	for i := range p.Holders {
+		k := dist.Sample(r)
+		idx := r.SampleInts(nodes, k)
+		h := make([]int32, k)
+		for j, v := range idx {
+			h[j] = int32(v)
+		}
+		p.Holders[i] = h
+	}
+	return p, nil
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	Found    bool
+	Hops     int // hops at which the first replica was found (0 if origin holds it)
+	Messages int // query transmissions
+	Peers    int // peers that processed the query (excluding origin)
+	Results  int // replica holders encountered (the hybrid rare-query rule counts these)
+}
+
+// Engine runs searches for one (graph, placement) pair.
+type Engine struct {
+	g     *overlay.Graph
+	place *Placement
+	mark  []int32
+	epoch int32
+}
+
+// NewEngine builds a search engine. The placement must cover the graph's
+// node set.
+func NewEngine(g *overlay.Graph, p *Placement) (*Engine, error) {
+	if p.Nodes != g.N() {
+		return nil, fmt.Errorf("search: placement for %d nodes, graph has %d", p.Nodes, g.N())
+	}
+	mark := make([]int32, g.N())
+	for i := range mark {
+		mark[i] = -1
+	}
+	return &Engine{g: g, place: p, mark: mark}, nil
+}
+
+// GraphN returns the number of nodes in the engine's graph.
+func (e *Engine) GraphN() int { return e.g.N() }
+
+// holderSet builds a quick-lookup set for an object's holders.
+func (e *Engine) holderSet(obj int) map[int32]struct{} {
+	hs := e.place.Holders[obj]
+	set := make(map[int32]struct{}, len(hs))
+	for _, h := range hs {
+		set[h] = struct{}{}
+	}
+	return set
+}
+
+// Flood performs a TTL-bounded flood from origin for object obj. The origin
+// holding the object counts as an immediate hit at hop 0.
+func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
+	if err := e.check(origin, obj); err != nil {
+		return Result{}, err
+	}
+	if ttl < 1 {
+		return Result{}, fmt.Errorf("search: TTL must be at least 1, got %d", ttl)
+	}
+	holders := e.holderSet(obj)
+	res := Result{}
+	if _, ok := holders[int32(origin)]; ok {
+		res.Found = true
+		res.Results = 1
+		// The origin's own copy counts, but the flood still goes out (a
+		// real servent searches its own library first and would stop; for
+		// measurement we report the immediate hit).
+		return res, nil
+	}
+	e.epoch++
+	e.mark[origin] = e.epoch
+	frontier := make([]int32, 0, len(e.g.Neighbors(origin)))
+	for _, nb := range e.g.Neighbors(origin) {
+		frontier = append(frontier, nb)
+		res.Messages++
+	}
+	var next []int32
+	found := false
+	for hop := 1; hop <= ttl && len(frontier) > 0; hop++ {
+		next = next[:0]
+		for _, v := range frontier {
+			if e.mark[v] == e.epoch {
+				continue
+			}
+			e.mark[v] = e.epoch
+			res.Peers++
+			if _, ok := holders[v]; ok {
+				res.Results++
+				if !found {
+					found = true
+					res.Found = true
+					res.Hops = hop
+					// A real flood keeps propagating after the first hit;
+					// cost keeps accruing but the first-hit hop is kept.
+				}
+			}
+			if hop == ttl || !e.g.Ultra(int(v)) {
+				continue
+			}
+			for _, nb := range e.g.Neighbors(int(v)) {
+				if e.mark[nb] != e.epoch {
+					next = append(next, nb)
+					res.Messages++
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return res, nil
+}
+
+// ExpandingRing floods with TTL 1, 2, ... maxTTL until the object is found,
+// accumulating cost across rings (the classic flooding-cost reduction).
+func (e *Engine) ExpandingRing(origin, obj, maxTTL int) (Result, error) {
+	if maxTTL < 1 {
+		return Result{}, fmt.Errorf("search: maxTTL must be at least 1, got %d", maxTTL)
+	}
+	total := Result{}
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		res, err := e.Flood(origin, obj, ttl)
+		if err != nil {
+			return Result{}, err
+		}
+		total.Messages += res.Messages
+		total.Peers += res.Peers
+		if res.Found {
+			total.Found = true
+			total.Hops = res.Hops
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// RandomWalk launches walkers concurrent random walks of at most maxSteps
+// steps each (Lv et al. style). Walkers check every visited node for the
+// object; success is any walker finding a replica.
+func (e *Engine) RandomWalk(origin, obj, walkers, maxSteps int, r *rng.Source) (Result, error) {
+	if err := e.check(origin, obj); err != nil {
+		return Result{}, err
+	}
+	if walkers < 1 || maxSteps < 1 {
+		return Result{}, fmt.Errorf("search: walkers and maxSteps must be positive")
+	}
+	holders := e.holderSet(obj)
+	if _, ok := holders[int32(origin)]; ok {
+		return Result{Found: true, Hops: 0}, nil
+	}
+	e.epoch++
+	e.mark[origin] = e.epoch
+	res := Result{}
+	for w := 0; w < walkers; w++ {
+		cur := int32(origin)
+		for step := 1; step <= maxSteps; step++ {
+			nbs := e.g.Neighbors(int(cur))
+			if len(nbs) == 0 {
+				break
+			}
+			cur = nbs[r.Intn(len(nbs))]
+			res.Messages++
+			if e.mark[cur] != e.epoch {
+				e.mark[cur] = e.epoch
+				res.Peers++
+			}
+			if _, ok := holders[cur]; ok {
+				if !res.Found || step < res.Hops {
+					res.Found = true
+					res.Hops = step
+				}
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) check(origin, obj int) error {
+	if origin < 0 || origin >= e.g.N() {
+		return fmt.Errorf("search: origin %d out of range", origin)
+	}
+	if obj < 0 || obj >= len(e.place.Holders) {
+		return fmt.Errorf("search: object %d out of range", obj)
+	}
+	return nil
+}
+
+// SuccessRate measures the fraction of trials in which a flood at the given
+// TTL finds the target, with targets chosen by pick (e.g. uniform over
+// objects, or popularity-weighted) and origins uniform at random.
+func (e *Engine) SuccessRate(ttl, trials int, pick func(r *rng.Source) int, seed uint64) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("search: trials must be positive")
+	}
+	r := rng.NewNamed(seed, "search/success")
+	hits := 0
+	for i := 0; i < trials; i++ {
+		origin := r.Intn(e.g.N())
+		obj := pick(r)
+		res, err := e.Flood(origin, obj, ttl)
+		if err != nil {
+			return 0, err
+		}
+		if res.Found {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}

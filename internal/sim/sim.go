@@ -1,0 +1,108 @@
+// Package sim is a minimal discrete-event simulation kernel: a clock and a
+// time-ordered event queue with deterministic FIFO tie-breaking. The
+// synopsis-adaptation experiment and churn scenarios are driven by it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback executed at its scheduled time.
+type Event func(now int64)
+
+// Kernel is a discrete-event scheduler. The zero value is NOT ready; use
+// New.
+type Kernel struct {
+	now     int64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+}
+
+// New returns a kernel with the clock at 0.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule runs fn at time at. Scheduling in the past is an error;
+// scheduling at the current time runs fn after already-queued events for
+// that time.
+func (k *Kernel) Schedule(at int64, fn Event) error {
+	if fn == nil {
+		return fmt.Errorf("sim: nil event")
+	}
+	if at < k.now {
+		return fmt.Errorf("sim: schedule at %d before now %d", at, k.now)
+	}
+	k.seq++
+	heap.Push(&k.queue, scheduled{at: at, seq: k.seq, fn: fn})
+	return nil
+}
+
+// After runs fn d time units from now.
+func (k *Kernel) After(d int64, fn Event) error {
+	if d < 0 {
+		return fmt.Errorf("sim: negative delay %d", d)
+	}
+	return k.Schedule(k.now+d, fn)
+}
+
+// Stop makes Run return after the current event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run processes events until the queue drains or Stop is called, returning
+// the number of events executed.
+func (k *Kernel) Run() int {
+	return k.RunUntil(1<<63 - 1)
+}
+
+// RunUntil processes events with time <= t (or until Stop), advancing the
+// clock to each event's time; the clock finishes at min(t, last event time)
+// or stays if nothing ran.
+func (k *Kernel) RunUntil(t int64) int {
+	k.stopped = false
+	n := 0
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > t {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		next.fn(k.now)
+		n++
+	}
+	return n
+}
+
+type scheduled struct {
+	at  int64
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(scheduled)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

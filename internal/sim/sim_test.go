@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunOrder(t *testing.T) {
+	k := New()
+	var order []int
+	k.Schedule(30, func(int64) { order = append(order, 3) })
+	k.Schedule(10, func(int64) { order = append(order, 1) })
+	k.Schedule(20, func(int64) { order = append(order, 2) })
+	if n := k.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("clock = %d", k.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func(int64) { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	k := New()
+	var hits []int64
+	k.Schedule(1, func(now int64) {
+		hits = append(hits, now)
+		k.After(5, func(now int64) { hits = append(hits, now) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 6 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	k := New()
+	k.Schedule(10, func(int64) {})
+	k.Run()
+	if err := k.Schedule(5, func(int64) {}); err == nil {
+		t.Error("past scheduling accepted")
+	}
+	if err := k.Schedule(10, nil); err == nil {
+		t.Error("nil event accepted")
+	}
+	if err := k.After(-1, func(int64) {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	count := 0
+	for i := int64(1); i <= 10; i++ {
+		k.Schedule(i*10, func(int64) { count++ })
+	}
+	if n := k.RunUntil(50); n != 5 {
+		t.Fatalf("RunUntil(50) ran %d events", n)
+	}
+	if k.Pending() != 5 {
+		t.Errorf("pending = %d", k.Pending())
+	}
+	if k.Now() != 50 {
+		t.Errorf("clock = %d", k.Now())
+	}
+	if n := k.Run(); n != 5 {
+		t.Errorf("second Run ran %d", n)
+	}
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	ran := 0
+	k.Schedule(1, func(int64) { ran++; k.Stop() })
+	k.Schedule(2, func(int64) { ran++ })
+	if n := k.Run(); n != 1 {
+		t.Fatalf("ran %d events despite Stop", n)
+	}
+	if k.Pending() != 1 {
+		t.Errorf("pending = %d", k.Pending())
+	}
+	// Run resumes after Stop.
+	if n := k.Run(); n != 1 || ran != 2 {
+		t.Errorf("resume ran %d, total %d", n, ran)
+	}
+}
+
+func TestSelfPerpetuatingBounded(t *testing.T) {
+	k := New()
+	ticks := 0
+	var tick Event
+	tick = func(now int64) {
+		ticks++
+		if ticks < 100 {
+			k.After(1, tick)
+		}
+	}
+	k.Schedule(0, tick)
+	k.Run()
+	if ticks != 100 {
+		t.Errorf("ticks = %d", ticks)
+	}
+	if k.Now() != 99 {
+		t.Errorf("clock = %d", k.Now())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New()
+		for j := int64(0); j < 1000; j++ {
+			k.Schedule(j, func(int64) {})
+		}
+		k.Run()
+	}
+}

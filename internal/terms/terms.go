@@ -1,0 +1,97 @@
+// Package terms implements the two string normalizations the paper's
+// analyses rely on: the Gnutella protocol tokenization mechanism used to
+// split file names and query strings into terms (Figure 3 and Section IV),
+// and the file-name sanitization (lowercasing and stripping special
+// characters) used for Figure 2.
+package terms
+
+import (
+	"strings"
+	"unicode"
+)
+
+// MinTokenLength is the shortest token the protocol tokenization keeps,
+// matching Gnutella query-routing practice of dropping one-character
+// fragments.
+const MinTokenLength = 2
+
+// Tokenize splits s the way Gnutella splits file names and query strings
+// for keyword matching: Unicode letter/digit runs, lowercased, with tokens
+// shorter than MinTokenLength dropped. The result preserves order and may
+// contain duplicates (callers needing a set use TokenSet).
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	lower := strings.ToLower(s)
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			if tok := lower[start:i]; tokenLen(tok) >= MinTokenLength {
+				out = append(out, tok)
+			}
+			start = -1
+		}
+	}
+	if start >= 0 {
+		if tok := lower[start:]; tokenLen(tok) >= MinTokenLength {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// tokenLen counts runes, not bytes, so multi-byte single characters are
+// still dropped by the minimum-length rule.
+func tokenLen(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// TokenSet returns the distinct tokens of s.
+func TokenSet(s string) map[string]struct{} {
+	toks := Tokenize(s)
+	set := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// Matches reports whether every token of query appears in the token set of
+// name — the Gnutella keyword-match rule ("the system searched for all
+// objects that matched the set of terms in the query string"). A query with
+// no tokens matches nothing.
+func Matches(queryTokens []string, nameTokens map[string]struct{}) bool {
+	if len(queryTokens) == 0 {
+		return false
+	}
+	for _, q := range queryTokens {
+		if _, ok := nameTokens[q]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Sanitize normalizes a file name the way the paper's Figure 2 analysis
+// does: lowercase, with capitalization and special characters (dashes,
+// apostrophes, spaces, punctuation) removed. Only letters and digits
+// survive.
+func Sanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package terms
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Aaron Neville - I Don't Know Much.mp3",
+			[]string{"aaron", "neville", "don", "know", "much", "mp3"}},
+		{"01 Track.wma", []string{"01", "track", "wma"}},
+		{"", nil},
+		{"---", nil},
+		{"a b c", nil}, // all below minimum length
+		{"ab", []string{"ab"}},
+		{"The_Quick_Brown_Fox", []string{"the", "quick", "brown", "fox"}},
+		{"AC/DC", []string{"ac", "dc"}},
+		{"Don't", []string{"don"}},
+		{"über straße", []string{"über", "straße"}},
+	}
+	for _, tc := range tests {
+		if got := Tokenize(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("MADONNA Like A PRAYER.MP3") {
+		for _, r := range tok {
+			if unicode.IsUpper(r) {
+				t.Fatalf("token %q contains uppercase", tok)
+			}
+		}
+	}
+}
+
+func TestTokenizeProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tokenLen(tok) < MinTokenLength {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	set := TokenSet("love love me do")
+	if len(set) != 3 { // love, me, do — duplicates collapse
+		t.Fatalf("set size %d, want 3", len(set))
+	}
+	if _, ok := set["love"]; !ok {
+		t.Error("missing token love")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	name := TokenSet("Aaron Neville - I Don't Know Much.mp3")
+	tests := []struct {
+		query string
+		want  bool
+	}{
+		{"aaron neville", true},
+		{"AARON", true},
+		{"neville much", true},
+		{"aaron ronstadt", false},
+		{"", false},
+		{"---", false},
+		{"mp3", true},
+	}
+	for _, tc := range tests {
+		if got := Matches(Tokenize(tc.query), name); got != tc.want {
+			t.Errorf("Matches(%q) = %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestMatchesSubsetProperty(t *testing.T) {
+	// Any non-empty subset of a name's tokens must match the name.
+	name := "the quick brown fox jumps over the lazy dog"
+	set := TokenSet(name)
+	toks := Tokenize(name)
+	for i := range toks {
+		if !Matches(toks[i:i+1], set) {
+			t.Errorf("single token %q does not match its own name", toks[i])
+		}
+	}
+	if !Matches(toks, set) {
+		t.Error("full token list does not match its own name")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Aaron Neville - I Don't Know Much.mp3", "aaronnevilleidontknowmuchmp3"},
+		{"AARON NEVILLE- i dont know much.MP3", "aaronnevilleidontknowmuchmp3"},
+		{"", ""},
+		{"123-456", "123456"},
+		{"ÜBER", "über"},
+	}
+	for _, tc := range tests {
+		if got := Sanitize(tc.in); got != tc.want {
+			t.Errorf("Sanitize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSanitizeCollapsesCaseAndPunctVariants(t *testing.T) {
+	variants := []string{
+		"Aaron Neville - I Dont Know Much.mp3",
+		"aaron neville - i dont know much.MP3",
+		"Aaron Neville- I Dont Know Much.mp3",
+		"AARON NEVILLE  -  I DONT KNOW MUCH.mp3",
+	}
+	want := Sanitize(variants[0])
+	for _, v := range variants[1:] {
+		if got := Sanitize(v); got != want {
+			t.Errorf("variant %q sanitized to %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSanitizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Sanitize(s)
+		return Sanitize(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	s := "Aaron Neville and Linda Ronstadt - I Don't Know Much (But I Know I Love You).mp3"
+	for i := 0; i < b.N; i++ {
+		Tokenize(s)
+	}
+}
+
+func BenchmarkSanitize(b *testing.B) {
+	s := "Aaron Neville and Linda Ronstadt - I Don't Know Much (But I Know I Love You).mp3"
+	for i := 0; i < b.N; i++ {
+		Sanitize(s)
+	}
+}

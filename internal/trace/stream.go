@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Streaming IO for object traces. Paper-scale crawls observe >12M records;
+// the streaming writer emits records as they are crawled (header record
+// count -1 = "until EOF") and the scanner iterates without materializing
+// the slice. ReadObjectTrace also accepts the -1 header, so streamed files
+// stay compatible with the whole toolchain.
+
+// streamUnknown marks an unknown record count in a streamed header.
+const streamUnknown = -1
+
+// ObjectWriter streams an object trace record by record.
+type ObjectWriter struct {
+	w      *bufio.Writer
+	n      int
+	peers  map[int]struct{}
+	closed bool
+}
+
+// NewObjectWriter starts a streamed object trace with the given source
+// label. Close must be called to flush.
+func NewObjectWriter(w io.Writer, source string) (*ObjectWriter, error) {
+	if err := checkField("source", source); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(w)
+	// Peers is unknown up front in a stream; readers recompute it.
+	if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\n", objectMagic, source, streamUnknown, streamUnknown); err != nil {
+		return nil, err
+	}
+	return &ObjectWriter{w: bw, peers: map[int]struct{}{}}, nil
+}
+
+// Write appends one record.
+func (ow *ObjectWriter) Write(rec ObjectRecord) error {
+	if ow.closed {
+		return errors.New("trace: write after Close")
+	}
+	if err := checkField("object name", rec.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(ow.w, "%d\t%s\n", rec.Peer, rec.Name); err != nil {
+		return err
+	}
+	ow.n++
+	ow.peers[rec.Peer] = struct{}{}
+	return nil
+}
+
+// N returns the number of records written so far.
+func (ow *ObjectWriter) N() int { return ow.n }
+
+// Close flushes the stream.
+func (ow *ObjectWriter) Close() error {
+	if ow.closed {
+		return nil
+	}
+	ow.closed = true
+	return ow.w.Flush()
+}
+
+// ObjectScanner iterates a (streamed or fixed-count) object trace without
+// materializing it.
+type ObjectScanner struct {
+	sc        *scanner
+	source    string
+	remaining int // streamUnknown = until EOF
+	rec       ObjectRecord
+	err       error
+}
+
+// NewObjectScanner reads the header and prepares iteration.
+func NewObjectScanner(r io.Reader) (*ObjectScanner, error) {
+	sc := newScanner(r)
+	fields, err := sc.header(objectMagic, 4)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad record count: %w", err)
+	}
+	return &ObjectScanner{sc: sc, source: fields[1], remaining: n}, nil
+}
+
+// Source returns the trace's provenance label.
+func (s *ObjectScanner) Source() string { return s.source }
+
+// Scan advances to the next record, returning false at the end of the
+// trace or on error (check Err).
+func (s *ObjectScanner) Scan() bool {
+	if s.err != nil || s.remaining == 0 {
+		return false
+	}
+	line, err := s.sc.line()
+	if err != nil {
+		if s.remaining == streamUnknown && errors.Is(err, io.ErrUnexpectedEOF) {
+			s.remaining = 0
+			return false
+		}
+		s.err = err
+		return false
+	}
+	i := strings.IndexByte(line, '\t')
+	if i < 0 {
+		s.err = fmt.Errorf("trace: malformed record %q", line)
+		return false
+	}
+	peer, err := strconv.Atoi(line[:i])
+	if err != nil {
+		s.err = fmt.Errorf("trace: bad peer in %q", line)
+		return false
+	}
+	s.rec = ObjectRecord{Peer: peer, Name: line[i+1:]}
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	return true
+}
+
+// Record returns the current record (valid after a true Scan).
+func (s *ObjectScanner) Record() ObjectRecord { return s.rec }
+
+// Err returns the first error encountered.
+func (s *ObjectScanner) Err() error { return s.err }

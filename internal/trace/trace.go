@@ -1,0 +1,277 @@
+// Package trace defines the on-disk trace formats that connect the
+// collection tools (Gnutella crawler, iTunes crawler, query logger) to the
+// analyses, mirroring the paper's methodology where trace files were the
+// interface between measurement and analysis.
+//
+// Three record kinds exist:
+//
+//   - ObjectRecord: one (peer, shared file name) observation from a
+//     Gnutella file crawl.
+//   - SongRecord: one annotated song observation from an iTunes share
+//     crawl (track/artist/album/genre).
+//   - QueryRecord: one timestamped query string from the query logger.
+//
+// Traces serialize to a line-oriented, tab-separated text format with a
+// single header line, so they stream, diff and grep well. Tabs and newlines
+// never occur in generated names; Write rejects records containing them
+// rather than corrupting the framing.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ObjectRecord is one crawled (peer, file name) pair.
+type ObjectRecord struct {
+	Peer int
+	Name string
+}
+
+// ObjectTrace is a complete Gnutella file-crawl observation.
+type ObjectTrace struct {
+	Source  string // free-form provenance, e.g. "gnutella-sim-crawl"
+	Peers   int    // number of peers successfully crawled
+	Records []ObjectRecord
+}
+
+// SongRecord is one crawled iTunes share entry.
+type SongRecord struct {
+	Peer   int
+	Track  string
+	Artist string
+	Album  string
+	Genre  string
+}
+
+// SongTrace is a complete iTunes share-crawl observation.
+type SongTrace struct {
+	Source  string
+	Peers   int // shares successfully read
+	Records []SongRecord
+}
+
+// QueryRecord is one observed query.
+type QueryRecord struct {
+	Time  int64 // seconds since trace start
+	Query string
+}
+
+// QueryTrace is a query log covering [0, Duration) seconds.
+type QueryTrace struct {
+	Source   string
+	Duration int64
+	Records  []QueryRecord
+}
+
+const (
+	objectMagic = "querycentric-objects/1"
+	songMagic   = "querycentric-songs/1"
+	queryMagic  = "querycentric-queries/1"
+)
+
+func checkField(kind, s string) error {
+	if strings.ContainsAny(s, "\t\n\r") {
+		return fmt.Errorf("trace: %s contains tab or newline: %q", kind, s)
+	}
+	return nil
+}
+
+// Write serializes the trace.
+func (t *ObjectTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := checkField("source", t.Source); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%s\t%s\t%d\t%d\n", objectMagic, t.Source, t.Peers, len(t.Records))
+	for _, r := range t.Records {
+		if err := checkField("object name", r.Name); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "%d\t%s\n", r.Peer, r.Name)
+	}
+	return bw.Flush()
+}
+
+// ReadObjectTrace parses a trace written by Write.
+func ReadObjectTrace(r io.Reader) (*ObjectTrace, error) {
+	sc := newScanner(r)
+	fields, err := sc.header(objectMagic, 4)
+	if err != nil {
+		return nil, err
+	}
+	t := &ObjectTrace{Source: fields[1]}
+	if t.Peers, err = strconv.Atoi(fields[2]); err != nil {
+		return nil, fmt.Errorf("trace: bad peer count: %w", err)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad record count: %w", err)
+	}
+	if n >= 0 {
+		t.Records = make([]ObjectRecord, 0, n)
+	}
+	peers := map[int]struct{}{}
+	for i := 0; n < 0 || i < n; i++ {
+		f, err := sc.record(2)
+		if err != nil {
+			if n < 0 && errors.Is(err, io.ErrUnexpectedEOF) {
+				break // streamed trace: records run until EOF
+			}
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		peer, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d peer: %w", i, err)
+		}
+		t.Records = append(t.Records, ObjectRecord{Peer: peer, Name: f[1]})
+		peers[peer] = struct{}{}
+	}
+	if t.Peers < 0 {
+		t.Peers = len(peers) // streamed header: recompute
+	}
+	return t, nil
+}
+
+// Write serializes the trace.
+func (t *SongTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := checkField("source", t.Source); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%s\t%s\t%d\t%d\n", songMagic, t.Source, t.Peers, len(t.Records))
+	for _, r := range t.Records {
+		for _, f := range []string{r.Track, r.Artist, r.Album, r.Genre} {
+			if err := checkField("song field", f); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%s\n", r.Peer, r.Track, r.Artist, r.Album, r.Genre)
+	}
+	return bw.Flush()
+}
+
+// ReadSongTrace parses a trace written by Write.
+func ReadSongTrace(r io.Reader) (*SongTrace, error) {
+	sc := newScanner(r)
+	fields, err := sc.header(songMagic, 4)
+	if err != nil {
+		return nil, err
+	}
+	t := &SongTrace{Source: fields[1]}
+	if t.Peers, err = strconv.Atoi(fields[2]); err != nil {
+		return nil, fmt.Errorf("trace: bad peer count: %w", err)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad record count: %w", err)
+	}
+	t.Records = make([]SongRecord, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := sc.record(5)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		peer, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d peer: %w", i, err)
+		}
+		t.Records = append(t.Records, SongRecord{
+			Peer: peer, Track: f[1], Artist: f[2], Album: f[3], Genre: f[4],
+		})
+	}
+	return t, nil
+}
+
+// Write serializes the trace.
+func (t *QueryTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := checkField("source", t.Source); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%s\t%s\t%d\t%d\n", queryMagic, t.Source, t.Duration, len(t.Records))
+	for _, r := range t.Records {
+		if err := checkField("query", r.Query); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "%d\t%s\n", r.Time, r.Query)
+	}
+	return bw.Flush()
+}
+
+// ReadQueryTrace parses a trace written by Write.
+func ReadQueryTrace(r io.Reader) (*QueryTrace, error) {
+	sc := newScanner(r)
+	fields, err := sc.header(queryMagic, 4)
+	if err != nil {
+		return nil, err
+	}
+	t := &QueryTrace{Source: fields[1]}
+	if t.Duration, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+		return nil, fmt.Errorf("trace: bad duration: %w", err)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad record count: %w", err)
+	}
+	t.Records = make([]QueryRecord, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := sc.record(2)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d time: %w", i, err)
+		}
+		t.Records = append(t.Records, QueryRecord{Time: ts, Query: f[1]})
+	}
+	return t, nil
+}
+
+// scanner wraps line/field parsing with sane limits.
+type scanner struct{ sc *bufio.Scanner }
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &scanner{sc: sc}
+}
+
+func (s *scanner) line() (string, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	return s.sc.Text(), nil
+}
+
+func (s *scanner) header(magic string, nf int) ([]string, error) {
+	line, err := s.line()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	fields := strings.Split(line, "\t")
+	if len(fields) != nf || fields[0] != magic {
+		return nil, fmt.Errorf("trace: not a %s trace (header %q)", magic, line)
+	}
+	return fields, nil
+}
+
+func (s *scanner) record(nf int) ([]string, error) {
+	line, err := s.line()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Split(line, "\t")
+	if len(fields) != nf {
+		return nil, fmt.Errorf("trace: want %d fields, got %d in %q", nf, len(fields), line)
+	}
+	return fields, nil
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestObjectTraceRoundTrip(t *testing.T) {
+	in := &ObjectTrace{
+		Source: "unit-test",
+		Peers:  3,
+		Records: []ObjectRecord{
+			{Peer: 0, Name: "Aaron Neville - I Don't Know Much.mp3"},
+			{Peer: 0, Name: "01 Track.wma"},
+			{Peer: 2, Name: "Some Band - Song (Live).mp3"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadObjectTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestObjectTraceEmpty(t *testing.T) {
+	in := &ObjectTrace{Source: "empty", Peers: 0}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadObjectTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 0 || out.Source != "empty" {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestObjectTraceRejectsTabs(t *testing.T) {
+	in := &ObjectTrace{Source: "x", Records: []ObjectRecord{{Name: "bad\tname"}}}
+	if err := in.Write(&bytes.Buffer{}); err == nil {
+		t.Error("tab in name accepted")
+	}
+	in2 := &ObjectTrace{Source: "bad\nsource"}
+	if err := in2.Write(&bytes.Buffer{}); err == nil {
+		t.Error("newline in source accepted")
+	}
+}
+
+func TestSongTraceRoundTrip(t *testing.T) {
+	in := &SongTrace{
+		Source: "itunes-test",
+		Peers:  2,
+		Records: []SongRecord{
+			{Peer: 0, Track: "Blue Bayou", Artist: "Linda Ronstadt", Album: "Simple Dreams", Genre: "Rock"},
+			{Peer: 1, Track: "Intro", Artist: "", Album: "", Genre: ""},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSongTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestQueryTraceRoundTrip(t *testing.T) {
+	in := &QueryTrace{
+		Source:   "phex-test",
+		Duration: 604800,
+		Records: []QueryRecord{
+			{Time: 0, Query: "aaron neville"},
+			{Time: 59, Query: "madonna"},
+			{Time: 604799, Query: "linda ronstadt blue bayou"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadQueryTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestReadWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	(&ObjectTrace{Source: "x"}).Write(&buf)
+	if _, err := ReadQueryTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("query reader accepted object trace")
+	}
+	if _, err := ReadSongTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("song reader accepted object trace")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	in := &ObjectTrace{Source: "x", Peers: 1,
+		Records: []ObjectRecord{{Peer: 0, Name: "a.mp3"}, {Peer: 0, Name: "b.mp3"}}}
+	var buf bytes.Buffer
+	in.Write(&buf)
+	full := buf.String()
+	// Drop the last line.
+	cut := full[:strings.LastIndex(strings.TrimRight(full, "\n"), "\n")+1]
+	if _, err := ReadObjectTrace(strings.NewReader(cut)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	for _, g := range []string{"", "garbage", "querycentric-objects/1\tx", "querycentric-objects/1\tx\tnotanum\t0\n"} {
+		if _, err := ReadObjectTrace(strings.NewReader(g)); err == nil {
+			t.Errorf("garbage %q accepted", g)
+		}
+	}
+}
+
+func TestReadBadRecord(t *testing.T) {
+	bad := "querycentric-objects/1\tsrc\t1\t1\nnotanumber\tname.mp3\n"
+	if _, err := ReadObjectTrace(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric peer accepted")
+	}
+	bad2 := "querycentric-objects/1\tsrc\t1\t1\n0\n"
+	if _, err := ReadObjectTrace(strings.NewReader(bad2)); err == nil {
+		t.Error("missing field accepted")
+	}
+}
+
+func TestQuickObjectRoundTrip(t *testing.T) {
+	f := func(peer uint8, rawName string) bool {
+		name := strings.Map(func(r rune) rune {
+			if r == '\t' || r == '\n' || r == '\r' {
+				return ' '
+			}
+			return r
+		}, rawName)
+		in := &ObjectTrace{Source: "q", Peers: 1,
+			Records: []ObjectRecord{{Peer: int(peer), Name: name}}}
+		var buf bytes.Buffer
+		if err := in.Write(&buf); err != nil {
+			return false
+		}
+		out, err := ReadObjectTrace(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkObjectTraceWrite(b *testing.B) {
+	tr := &ObjectTrace{Source: "bench", Peers: 100}
+	for i := 0; i < 10000; i++ {
+		tr.Records = append(tr.Records, ObjectRecord{Peer: i % 100, Name: "Artist Name - A Song Title (Remastered).mp3"})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectTraceRead(b *testing.B) {
+	tr := &ObjectTrace{Source: "bench", Peers: 100}
+	for i := 0; i < 10000; i++ {
+		tr.Records = append(tr.Records, ObjectRecord{Peer: i % 100, Name: "Artist Name - A Song Title (Remastered).mp3"})
+	}
+	var buf bytes.Buffer
+	tr.Write(&buf)
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadObjectTrace(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStreamedObjectWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ow, err := NewObjectWriter(&buf, "streamed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []ObjectRecord{
+		{Peer: 0, Name: "A - B.mp3"},
+		{Peer: 2, Name: "C - D.mp3"},
+		{Peer: 0, Name: "E.mp3"},
+	}
+	for _, r := range recs {
+		if err := ow.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ow.N() != 3 {
+		t.Errorf("N = %d", ow.N())
+	}
+	if err := ow.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ow.Write(ObjectRecord{}); err == nil {
+		t.Error("write after Close accepted")
+	}
+	// Full reader accepts the streamed header.
+	got, err := ReadObjectTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, recs) {
+		t.Errorf("records: %+v", got.Records)
+	}
+	if got.Peers != 2 {
+		t.Errorf("recomputed peers = %d, want 2", got.Peers)
+	}
+	if got.Source != "streamed" {
+		t.Errorf("source = %q", got.Source)
+	}
+}
+
+func TestObjectScannerOverBothFormats(t *testing.T) {
+	// Fixed-count trace.
+	fixed := &ObjectTrace{Source: "fixed", Peers: 1,
+		Records: []ObjectRecord{{Peer: 0, Name: "x.mp3"}, {Peer: 0, Name: "y.mp3"}}}
+	var fb bytes.Buffer
+	fixed.Write(&fb)
+	// Streamed trace.
+	var sb bytes.Buffer
+	ow, _ := NewObjectWriter(&sb, "stream")
+	ow.Write(ObjectRecord{Peer: 1, Name: "z.mp3"})
+	ow.Close()
+
+	for name, raw := range map[string][]byte{"fixed": fb.Bytes(), "stream": sb.Bytes()} {
+		sc, err := NewObjectScanner(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := 0
+		for sc.Scan() {
+			if sc.Record().Name == "" {
+				t.Fatalf("%s: empty record", name)
+			}
+			n++
+		}
+		if sc.Err() != nil {
+			t.Fatalf("%s: %v", name, sc.Err())
+		}
+		if name == "fixed" && n != 2 || name == "stream" && n != 1 {
+			t.Errorf("%s: scanned %d records", name, n)
+		}
+		if sc.Source() != name {
+			t.Errorf("%s: source %q", name, sc.Source())
+		}
+	}
+}
+
+func TestObjectScannerMalformed(t *testing.T) {
+	bad := "querycentric-objects/1\tsrc\t-1\t-1\nnotanumber\tname\n"
+	sc, err := NewObjectScanner(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scan() {
+		t.Error("malformed record scanned")
+	}
+	if sc.Err() == nil {
+		t.Error("no error reported")
+	}
+	bad2 := "querycentric-objects/1\tsrc\t-1\t-1\nnotabfield\n"
+	sc2, _ := NewObjectScanner(strings.NewReader(bad2))
+	if sc2.Scan() || sc2.Err() == nil {
+		t.Error("tab-less record accepted")
+	}
+}
+
+func TestStreamedWriterRejectsTabs(t *testing.T) {
+	var buf bytes.Buffer
+	ow, _ := NewObjectWriter(&buf, "s")
+	if err := ow.Write(ObjectRecord{Name: "bad\tname"}); err == nil {
+		t.Error("tab accepted")
+	}
+	if _, err := NewObjectWriter(&buf, "bad\nsource"); err == nil {
+		t.Error("newline source accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package querycentric reproduces "On the need for query-centric
+// unstructured peer-to-peer overlays" (Acosta & Chandra, IPPS 2008): the
+// trace substrates (a wire-level Gnutella network + crawler, a DAAP/iTunes
+// share population + crawler, a temporal query-workload generator), the
+// paper's analyses (replica/term/annotation distributions, popular-term
+// stability, transient popularity, the query/file term mismatch), the
+// search simulations (flooding, random walks, Chord, hybrid, Gia, adaptive
+// synopses) and one experiment runner per table and figure.
+//
+// This package is the public facade: it re-exports the curated surface of
+// the internal packages through type aliases and constructors, so examples
+// and downstream users never import querycentric/internal/... directly.
+//
+// # Quick start
+//
+//	env := querycentric.NewEnv(querycentric.ScaleTiny, 42)
+//	fig1, err := querycentric.Fig1(env)   // crawl + replica analysis
+//	fig6, err := querycentric.Fig6(env)   // popular-term stability
+//	fig8, err := querycentric.Fig8(env)   // flood success simulation
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package querycentric
+
+import (
+	"querycentric/internal/experiments"
+)
+
+// Scale selects experiment sizing (tiny/small/default/full).
+type Scale = experiments.Scale
+
+// Scales from smoke test to paper scale.
+const (
+	ScaleTiny    = experiments.ScaleTiny
+	ScaleSmall   = experiments.ScaleSmall
+	ScaleDefault = experiments.ScaleDefault
+	ScaleFull    = experiments.ScaleFull
+)
+
+// ParseScale parses "tiny", "small", "default" or "full".
+func ParseScale(s string) (Scale, error) { return experiments.ParseScale(s) }
+
+// Env builds and memoizes the shared experiment artifacts (crawled traces,
+// query workload) for one (scale, seed).
+type Env = experiments.Env
+
+// NewEnv creates an experiment environment.
+func NewEnv(scale Scale, seed uint64) *Env { return experiments.NewEnv(scale, seed) }
+
+// Experiment result types, one per table/figure (see DESIGN.md §4).
+type (
+	DistResult        = experiments.DistResult
+	Fig4Result        = experiments.Fig4Result
+	Fig5Result        = experiments.Fig5Result
+	Fig6Result        = experiments.Fig6Result
+	Fig7Result        = experiments.Fig7Result
+	Fig8Result        = experiments.Fig8Result
+	Fig8Curve         = experiments.Fig8Curve
+	TTLCoverageResult = experiments.TTLCoverageResult
+	HybridVsDHTResult = experiments.HybridVsDHTResult
+	SynopsisResult    = experiments.SynopsisResult
+	GiaResult         = experiments.GiaResult
+	RareObjectResult  = experiments.RareObjectResult
+)
+
+// Fig1 reproduces Figure 1 (object-name replica distribution).
+func Fig1(e *Env) (*DistResult, error) { return experiments.Fig1(e) }
+
+// Fig2 reproduces Figure 2 (sanitized-name replica distribution).
+func Fig2(e *Env) (*DistResult, error) { return experiments.Fig2(e) }
+
+// Fig3 reproduces Figure 3 (per-term peer distribution).
+func Fig3(e *Env) (*DistResult, error) { return experiments.Fig3(e) }
+
+// Fig4 reproduces Figure 4(a–d) (iTunes annotation distributions).
+func Fig4(e *Env) (*Fig4Result, error) { return experiments.Fig4(e) }
+
+// Fig5 reproduces Figure 5 (transiently popular terms per interval).
+func Fig5(e *Env) (*Fig5Result, error) { return experiments.Fig5(e) }
+
+// Fig6 reproduces Figure 6 (popular-term stability).
+func Fig6(e *Env) (*Fig6Result, error) { return experiments.Fig6(e) }
+
+// Fig7 reproduces Figure 7 (query/file term mismatch).
+func Fig7(e *Env) (*Fig7Result, error) { return experiments.Fig7(e) }
+
+// Fig8 reproduces Figure 8 (flood success, uniform vs Zipf placement).
+func Fig8(e *Env) (*Fig8Result, error) { return experiments.Fig8(e) }
+
+// TTLCoverage reproduces the §V TTL/coverage table.
+func TTLCoverage(e *Env) (*TTLCoverageResult, error) { return experiments.TTLCoverage(e) }
+
+// HybridVsDHT reproduces the §V/§VII hybrid-vs-DHT comparison.
+func HybridVsDHT(e *Env) (*HybridVsDHTResult, error) { return experiments.HybridVsDHT(e) }
+
+// SynopsisAblation runs the §VII adaptive-synopsis extension experiment.
+func SynopsisAblation(e *Env) (*SynopsisResult, error) { return experiments.SynopsisAblation(e) }
+
+// GiaComparison reproduces the §VI Gia rebuttal.
+func GiaComparison(e *Env) (*GiaResult, error) { return experiments.GiaComparison(e) }
+
+// RareObjectFraction reproduces the §VI "<4% of objects on ≥20 peers" check.
+func RareObjectFraction(e *Env) (*RareObjectResult, error) {
+	return experiments.RareObjectFraction(e)
+}
+
+// DHTRoutingResult compares Chord and Pastry lookup costs.
+type DHTRoutingResult = experiments.DHTRoutingResult
+
+// DHTRouting measures mean lookup hops of the two structured baselines.
+func DHTRouting(e *Env) (*DHTRoutingResult, error) { return experiments.DHTRouting(e) }
+
+// QRPResult shows QRP's effect: message savings without success gains.
+type QRPResult = experiments.QRPResult
+
+// QRPEffect floods one workload with and without QRP route tables.
+func QRPEffect(e *Env) (*QRPResult, error) { return experiments.QRPEffect(e) }
+
+// ChurnResult compares search availability under session churn.
+type ChurnResult = experiments.ChurnResult
+
+// ChurnComparison runs the churn experiment (uniform vs Zipf placement).
+func ChurnComparison(e *Env) (*ChurnResult, error) { return experiments.ChurnComparison(e) }
+
+// WalkVsFloodResult compares unstructured search mechanisms.
+type WalkVsFloodResult = experiments.WalkVsFloodResult
+
+// WalkVsFlood compares flooding, random walks and the expanding ring.
+func WalkVsFlood(e *Env) (*WalkVsFloodResult, error) { return experiments.WalkVsFlood(e) }
+
+// ReplicationResult is the allocation-strategy ablation.
+type ReplicationResult = experiments.ReplicationResult
+
+// ReplicationStrategies measures uniform/proportional/square-root replica
+// allocation driven by query vs file popularity.
+func ReplicationStrategies(e *Env) (*ReplicationResult, error) {
+	return experiments.ReplicationStrategies(e)
+}
+
+// ShortcutsResult is the interest-based-shortcuts extension.
+type ShortcutsResult = experiments.ShortcutsResult
+
+// ShortcutsExperiment measures interest-based shortcuts under stable and
+// shifting query popularity.
+func ShortcutsExperiment(e *Env) (*ShortcutsResult, error) {
+	return experiments.ShortcutsExperiment(e)
+}
+
+// SweepPoint is one evaluation-interval setting's mean statistic.
+type SweepPoint = experiments.SweepPoint
+
+// Fig6Sweep repeats Figure 6 across evaluation intervals.
+func Fig6Sweep(e *Env) ([]SweepPoint, error) { return experiments.Fig6Sweep(e) }
+
+// Fig7Sweep repeats Figure 7 across evaluation intervals.
+func Fig7Sweep(e *Env) ([]SweepPoint, error) { return experiments.Fig7Sweep(e) }

@@ -1,0 +1,112 @@
+package querycentric
+
+import (
+	"querycentric/internal/chord"
+	"querycentric/internal/gia"
+	"querycentric/internal/hybrid"
+	"querycentric/internal/overlay"
+	"querycentric/internal/pastry"
+	"querycentric/internal/rng"
+	"querycentric/internal/search"
+	"querycentric/internal/synopsis"
+)
+
+// Overlay graph substrate.
+type (
+	Graph          = overlay.Graph
+	GnutellaConfig = overlay.GnutellaConfig
+)
+
+// Overlay constructors and coverage tools.
+var (
+	NewGnutellaOverlay     = overlay.NewGnutella
+	NewErdosRenyiOverlay   = overlay.NewErdosRenyi
+	NewBarabasiAlbert      = overlay.NewBarabasiAlbert
+	NewRandomRegular       = overlay.NewRandomRegular
+	DefaultGnutellaOverlay = overlay.DefaultGnutellaConfig
+	CoverageStats          = overlay.CoverageStats
+	MeanQueryHops          = overlay.MeanQueryHops
+)
+
+// Replica placement and unstructured search.
+type (
+	Placement    = search.Placement
+	SearchResult = search.Result
+	SearchEngine = search.Engine
+)
+
+// Placement constructors: the uniform model prior evaluations assumed, and
+// the power-law placement the paper measured.
+var (
+	UniformPlacement = search.UniformPlacement
+	ZipfPlacement    = search.ZipfPlacement
+	NewSearchEngine  = search.NewEngine
+)
+
+// Structured overlay (Chord).
+type (
+	ChordRing  = chord.Ring
+	ChordNode  = chord.Node
+	ChordStore = chord.Store
+)
+
+// Chord constructors and key hashing.
+var (
+	NewChord      = chord.New
+	NewChordStore = chord.NewStore
+	HashKey       = chord.HashKey
+)
+
+// Structured overlay (Pastry prefix routing), the second DHT baseline.
+type (
+	PastryMesh = pastry.Mesh
+	PastryNode = pastry.Node
+)
+
+// NewPastry builds a Pastry mesh of n nodes.
+var NewPastry = pastry.New
+
+// Hybrid search (Loo et al.-style flood-then-DHT).
+type (
+	HybridSystem     = hybrid.System
+	HybridConfig     = hybrid.Config
+	HybridResult     = hybrid.Result
+	HybridComparison = hybrid.Comparison
+)
+
+// Hybrid constructors.
+var (
+	NewHybrid           = hybrid.New
+	DefaultHybridConfig = hybrid.DefaultConfig
+)
+
+// Gia baseline (capacity-aware unstructured search).
+type (
+	GiaSystem = gia.System
+	GiaConfig = gia.Config
+)
+
+// Gia constructors.
+var (
+	NewGia           = gia.New
+	DefaultGiaConfig = gia.DefaultConfig
+)
+
+// Adaptive synopsis search (the paper's proposed direction).
+type (
+	SynopsisNetwork = synopsis.Network
+	SynopsisConfig  = synopsis.Config
+)
+
+// Synopsis constructors.
+var (
+	NewSynopsisNetwork    = synopsis.New
+	DefaultSynopsisConfig = synopsis.DefaultConfig
+)
+
+// RNG is the deterministic random source every simulation entry point
+// accepts.
+type RNG = rng.Source
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }

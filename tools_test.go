@@ -1,0 +1,77 @@
+package querycentric_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the shipped binaries and runs the full trace
+// pipeline through them: crawl → queries → analyze → track → sim. This is
+// the only test that shells out; skip it with -short.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"qc-crawl", "qc-itunes", "qc-queries", "qc-analyze", "qc-track", "qc-sim"} {
+		bin := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[tool], args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstderr: %s", tool, args, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	crawl := filepath.Join(dir, "crawl.trace")
+	run("qc-crawl", "-peers", "120", "-objects", "2500", "-firewalled", "0", "-o", crawl)
+	if fi, err := os.Stat(crawl); err != nil || fi.Size() == 0 {
+		t.Fatalf("crawl trace missing: %v", err)
+	}
+
+	itunes := filepath.Join(dir, "itunes.trace")
+	run("qc-itunes", "-shares", "40", "-songs", "1500", "-o", itunes)
+
+	queries := filepath.Join(dir, "queries.trace")
+	run("qc-queries", "-n", "15000", "-days", "1", "-crawl", crawl, "-o", queries)
+
+	// Analyses over the traces.
+	if out := run("qc-analyze", "-mode", "replicas", "-in", crawl); !strings.Contains(out, "rank\tcount") {
+		t.Errorf("replicas output unexpected: %.80s", out)
+	}
+	if out := run("qc-analyze", "-mode", "annotations", "-in", itunes); !strings.Contains(out, "artist") {
+		t.Errorf("annotations output unexpected: %.80s", out)
+	}
+	if out := run("qc-analyze", "-mode", "mismatch", "-in", queries, "-crawl", crawl); !strings.Contains(out, "popular_vs_fstar") {
+		t.Errorf("mismatch output unexpected: %.80s", out)
+	}
+	if out := run("qc-analyze", "-mode", "transients", "-in", queries); !strings.Contains(out, "start\tcount") {
+		t.Errorf("transients output unexpected: %.80s", out)
+	}
+
+	// Online tracker.
+	if out := run("qc-track", "-in", queries, "-mismatch", crawl); !strings.Contains(out, "stability\tmismatch") {
+		t.Errorf("track output unexpected: %.80s", out)
+	}
+
+	// One simulation mode (tiny scale keeps this quick).
+	if out := run("qc-sim", "-mode", "dht", "-scale", "tiny"); !strings.Contains(out, "pastry_mean_hops") {
+		t.Errorf("sim output unexpected: %.80s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package querycentric
+
+import (
+	"io"
+
+	"querycentric/internal/analysis"
+	"querycentric/internal/catalog"
+	"querycentric/internal/crawler"
+	"querycentric/internal/daap"
+	"querycentric/internal/gnet"
+	"querycentric/internal/querygen"
+	"querycentric/internal/trace"
+)
+
+// Trace record and container types (tab-separated text on disk; see
+// internal/trace for the format).
+type (
+	ObjectRecord = trace.ObjectRecord
+	ObjectTrace  = trace.ObjectTrace
+	SongRecord   = trace.SongRecord
+	SongTrace    = trace.SongTrace
+	QueryRecord  = trace.QueryRecord
+	QueryTrace   = trace.QueryTrace
+)
+
+// Trace IO.
+var (
+	ReadObjectTrace = trace.ReadObjectTrace
+	ReadSongTrace   = trace.ReadSongTrace
+	ReadQueryTrace  = trace.ReadQueryTrace
+)
+
+// CrawlStats is the Gnutella crawl funnel.
+type CrawlStats = crawler.Stats
+
+// ShareCrawlStats is the iTunes share crawl funnel.
+type ShareCrawlStats = daap.CrawlStats
+
+// GnutellaCrawlConfig sizes a synthetic Gnutella crawl.
+type GnutellaCrawlConfig struct {
+	Seed           uint64
+	Peers          int
+	UniqueObjects  int
+	FirewalledFrac float64
+}
+
+// GnutellaCrawl builds a calibrated content population, stands up the
+// in-process Gnutella network, runs the Cruiser-like crawler against it
+// over the real wire format, and returns the observed object trace.
+func GnutellaCrawl(cfg GnutellaCrawlConfig) (*ObjectTrace, *CrawlStats, error) {
+	cat, err := catalog.Build(catalog.Config{
+		Seed:                cfg.Seed,
+		Peers:               cfg.Peers,
+		UniqueObjects:       cfg.UniqueObjects,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	gcfg := gnet.DefaultConfig(cfg.Seed)
+	gcfg.FirewalledFrac = cfg.FirewalledFrac
+	nw, err := gnet.NewFromCatalog(gcfg, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return crawler.Crawl(nw, crawler.DefaultConfig())
+}
+
+// ITunesCrawlConfig sizes a synthetic iTunes share crawl.
+type ITunesCrawlConfig struct {
+	Seed        uint64
+	Shares      int
+	UniqueSongs int
+}
+
+// ITunesCrawl builds the share population (with the paper's
+// password/busy/firewall funnel), crawls it over HTTP+DMAP, and returns
+// the observed song trace.
+func ITunesCrawl(cfg ITunesCrawlConfig) (*SongTrace, *ShareCrawlStats, error) {
+	dcfg := daap.DefaultConfig(cfg.Seed)
+	if cfg.Shares > 0 {
+		dcfg.Shares = cfg.Shares
+	}
+	if cfg.UniqueSongs > 0 {
+		dcfg.UniqueSongs = cfg.UniqueSongs
+	}
+	pop, err := daap.BuildPopulation(dcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return daap.Crawl(pop)
+}
+
+// QueryWorkloadConfig sizes a synthetic query workload.
+type QueryWorkloadConfig struct {
+	Seed     uint64
+	Queries  int
+	Duration int64 // seconds; 0 ⇒ one week
+	// FileTerms, when non-nil, is the ranked file-term vocabulary the
+	// workload should (weakly) overlap — normally RankedFileTerms of a
+	// crawl (the Figure 7 coupling).
+	FileTerms []string
+}
+
+// QueryWorkload generates the temporal query trace: stable popular core,
+// transient bursts, Zipf tail, low file-term overlap.
+func QueryWorkload(cfg QueryWorkloadConfig) (*QueryTrace, error) {
+	qcfg := querygen.DefaultConfig(cfg.Seed)
+	if cfg.Queries > 0 {
+		qcfg.Queries = cfg.Queries
+	}
+	if cfg.Duration > 0 {
+		qcfg.Duration = cfg.Duration
+	}
+	qcfg.FileTerms = cfg.FileTerms
+	w, err := querygen.Generate(qcfg)
+	if err != nil {
+		return nil, err
+	}
+	return w.Trace, nil
+}
+
+// RankedFileTermStrings returns the file terms of an object trace ranked
+// by popularity (most popular first).
+func RankedFileTermStrings(tr *ObjectTrace) []string {
+	ranked := analysis.RankedFileTerms(tr)
+	out := make([]string, len(ranked))
+	for i, tc := range ranked {
+		out[i] = tc.Term
+	}
+	return out
+}
+
+// WriteTrace writes any of the three trace kinds to w.
+func WriteTrace(w io.Writer, t interface{ Write(io.Writer) error }) error {
+	return t.Write(w)
+}
