@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: static checks plus the full suite under the race detector.
+check: vet race
+
+clean:
+	$(GO) clean ./...

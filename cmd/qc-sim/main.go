@@ -21,9 +21,10 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|walk|replication|synopsis")
+		mode      = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|walk|replication|synopsis|faults")
 		scaleName = flag.String("scale", "default", "tiny|small|default|full")
 		seed      = flag.Uint64("seed", 42, "root random seed")
+		deadFrac  = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
@@ -130,6 +131,18 @@ func main() {
 		}
 		fmt.Printf("nodes\t%d\nlookups\t%d\nchord_mean_hops\t%.2f\npastry_mean_hops\t%.2f\n",
 			d.Nodes, d.Lookups, d.ChordMeanHops, d.PastryMeanHops)
+	case "faults":
+		f, err := qc.FaultSweepWith(env, qc.FaultSweepConfig{DeadFrac: *deadFrac})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# fault sweep: %d peers, dead_frac %.2f, %d attempts/peer\n",
+			f.Peers, f.DeadFrac, f.MaxAttempts)
+		fmt.Println("# rate\tcoverage\tpartial\tfailed\trecord_frac\tretried\tflood_success")
+		for _, p := range f.Points {
+			fmt.Printf("%.3f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%.4f\n",
+				p.Rate, p.Coverage, p.PartialFrac, p.FailedFrac, p.RecordFrac, p.Retried, p.FloodSuccess)
+		}
 	case "synopsis":
 		s, err := qc.SynopsisAblation(env)
 		if err != nil {

@@ -12,6 +12,7 @@ package churn
 
 import (
 	"fmt"
+	"math"
 
 	"querycentric/internal/overlay"
 	"querycentric/internal/rng"
@@ -51,6 +52,52 @@ func DefaultConfig(seed uint64) Config {
 	}
 }
 
+// Validate rejects configurations that would panic or loop forever: the
+// session means must be finite (MeanOnline positive, MeanOffline
+// non-negative) and the schedule must make progress (positive Duration and
+// SampleEvery, TTL ≥ 1, at least one query per sample).
+func (c Config) Validate() error {
+	switch {
+	case math.IsNaN(c.MeanOnline) || math.IsInf(c.MeanOnline, 0) || c.MeanOnline <= 0:
+		return fmt.Errorf("churn: MeanOnline must be a positive finite duration, got %v", c.MeanOnline)
+	case math.IsNaN(c.MeanOffline) || math.IsInf(c.MeanOffline, 0) || c.MeanOffline < 0:
+		return fmt.Errorf("churn: MeanOffline must be a non-negative finite duration, got %v", c.MeanOffline)
+	case c.Duration <= 0:
+		return fmt.Errorf("churn: Duration must be positive, got %d", c.Duration)
+	case c.SampleEvery <= 0:
+		return fmt.Errorf("churn: SampleEvery must be positive, got %d", c.SampleEvery)
+	case c.TTL < 1:
+		return fmt.Errorf("churn: TTL must be at least 1, got %d", c.TTL)
+	case c.QueriesPerSample < 1:
+		return fmt.Errorf("churn: QueriesPerSample must be at least 1, got %d", c.QueriesPerSample)
+	}
+	return nil
+}
+
+// OnlineMask samples each of n peers' online state from the stationary
+// distribution of the (meanOnline, meanOffline) session process — the same
+// distribution Run uses to initialize its session state machines. Fault
+// planes (internal/faults) install the result as a liveness mask, so
+// crawls and floods observe the session dynamics this package models.
+func OnlineMask(seed uint64, n int, meanOnline, meanOffline float64) ([]bool, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("churn: negative peer count %d", n)
+	}
+	if math.IsNaN(meanOnline) || math.IsInf(meanOnline, 0) || meanOnline <= 0 {
+		return nil, fmt.Errorf("churn: MeanOnline must be a positive finite duration, got %v", meanOnline)
+	}
+	if math.IsNaN(meanOffline) || math.IsInf(meanOffline, 0) || meanOffline < 0 {
+		return nil, fmt.Errorf("churn: MeanOffline must be a non-negative finite duration, got %v", meanOffline)
+	}
+	stationary := meanOnline / (meanOnline + meanOffline)
+	r := rng.NewNamed(seed, "churn/liveness")
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = r.Bool(stationary)
+	}
+	return mask, nil
+}
+
 // Sample is one measurement point.
 type Sample struct {
 	Time        int64
@@ -76,11 +123,8 @@ func Run(g *overlay.Graph, p *search.Placement, cfg Config) (*Result, error) {
 	if p.Nodes != g.N() {
 		return nil, fmt.Errorf("churn: placement covers %d nodes, graph has %d", p.Nodes, g.N())
 	}
-	if cfg.MeanOnline <= 0 || cfg.MeanOffline < 0 {
-		return nil, fmt.Errorf("churn: invalid session means %v/%v", cfg.MeanOnline, cfg.MeanOffline)
-	}
-	if cfg.Duration <= 0 || cfg.SampleEvery <= 0 || cfg.TTL < 1 || cfg.QueriesPerSample < 1 {
-		return nil, fmt.Errorf("churn: invalid schedule %+v", cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 
 	n := g.N()

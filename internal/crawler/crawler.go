@@ -8,15 +8,25 @@
 // and enumerates its shared library with a browse query. The output is a
 // trace.ObjectTrace: the only artifact downstream analyses may consume, so
 // nothing the generator knows leaks around the measurement path.
+//
+// The crawler is shaped for a failure-prone substrate (see internal/faults):
+// transient connection failures are retried with exponential backoff and
+// jitter under a per-peer attempt budget, peers that die mid-browse keep
+// the files already read (partial-browse tolerance), and the Stats funnel
+// makes every degradation mode observable. With a fault-free network none
+// of this machinery fires and the crawl is byte-identical to a single-pass
+// crawler.
 package crawler
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"querycentric/internal/gmsg"
 	"querycentric/internal/gnet"
+	"querycentric/internal/rng"
 	"querycentric/internal/trace"
 )
 
@@ -24,28 +34,77 @@ import (
 type Config struct {
 	// Seeds are bootstrap addresses. Empty defaults to the first peer.
 	Seeds []gnet.Addr
-	// MaxPeers caps how many peers are file-crawled (0 = no cap).
+	// MaxPeers caps how many peers are file-crawled (0 = no cap). The cap
+	// is honored before dialing: no connection is opened whose results
+	// would be discarded.
 	MaxPeers int
 	// PingTTL is the TTL of the discovery ping; 2 asks for pong-cached
 	// neighbours, 1 only for the peer itself.
 	PingTTL byte
+	// MaxAttempts is the per-peer connection attempt budget; transient
+	// failures are re-queued until it is exhausted. 0 means 1 (a single
+	// attempt, no retries). Firewall refusals are permanent and never
+	// retried.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts to the same peer: attempt k waits
+	// min(BackoffBase·2^(k-1), BackoffMax), halved and jittered. A zero
+	// BackoffBase disables waiting (retries are still bounded and
+	// re-queued).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives backoff jitter (and nothing else): crawl results are
+	// identical for any Seed; only retry pacing varies.
+	Seed uint64
+
+	// sleep is the backoff clock, replaceable in tests.
+	sleep func(time.Duration)
 }
 
-// DefaultConfig returns the standard crawl configuration.
-func DefaultConfig() Config { return Config{PingTTL: 2} }
+// DefaultConfig returns the standard crawl configuration: pong-cached
+// discovery, three attempts per peer, millisecond-scale backoff.
+func DefaultConfig() Config {
+	return Config{
+		PingTTL:     2,
+		MaxAttempts: 3,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+}
 
-// Stats summarizes crawl outcomes, mirroring the funnel the paper reports.
+// Stats summarizes crawl outcomes, mirroring the funnel the paper reports
+// (discovered → crawled → firewalled/failed) extended with the degradation
+// counters a lossy substrate makes necessary. Every terminal bucket counts
+// peers, never attempts.
 type Stats struct {
-	Discovered int // distinct addresses learned
-	Crawled    int // peers whose library was fully read
-	Firewalled int // connection refused
-	Failed     int // other connection/protocol failures
+	Discovered     int // distinct addresses learned
+	Crawled        int // peers whose library was fully read
+	Firewalled     int // connection refused (permanent, never retried)
+	Failed         int // peers that ultimately failed with nothing read
+	Retried        int // retry attempts performed beyond each peer's first
+	PartialBrowses int // peers that died mid-browse; their partial library is kept
+	GaveUp         int // peers whose attempt budget was exhausted
 }
 
-// String formats the funnel for reports.
+// String formats the funnel for reports. The degradation counters are
+// appended only when any is nonzero, so fault-free output matches the
+// classic funnel byte for byte.
 func (s *Stats) String() string {
-	return fmt.Sprintf("discovered=%d crawled=%d firewalled=%d failed=%d",
+	out := fmt.Sprintf("discovered=%d crawled=%d firewalled=%d failed=%d",
 		s.Discovered, s.Crawled, s.Firewalled, s.Failed)
+	if s.Retried != 0 || s.PartialBrowses != 0 || s.GaveUp != 0 {
+		out += fmt.Sprintf(" retried=%d partial=%d gaveup=%d",
+			s.Retried, s.PartialBrowses, s.GaveUp)
+	}
+	return out
+}
+
+// peerState tracks retry bookkeeping for one discovered address.
+type peerState struct {
+	attempts int
+	// bestFiles is the longest partial enumeration observed so far, kept
+	// in case every remaining attempt also dies mid-browse.
+	bestFiles []string
 }
 
 // Crawl performs the two-phase crawl and returns the object trace.
@@ -60,9 +119,18 @@ func Crawl(nw *gnet.Network, cfg Config) (*trace.ObjectTrace, *Stats, error) {
 	if cfg.PingTTL == 0 {
 		cfg.PingTTL = 2
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
+	sleep := cfg.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	jitter := rng.NewNamed(cfg.Seed, "crawler/backoff")
 
 	stats := &Stats{}
 	seen := map[gnet.Addr]bool{}
+	state := map[gnet.Addr]*peerState{}
 	frontier := make([]gnet.Addr, 0, len(seeds))
 	for _, s := range seeds {
 		if !seen[s] {
@@ -73,30 +141,60 @@ func Crawl(nw *gnet.Network, cfg Config) (*trace.ObjectTrace, *Stats, error) {
 
 	tr := &trace.ObjectTrace{Source: "gnutella-sim-crawl"}
 	peerIndex := map[gnet.Addr]int{}
+	record := func(addr gnet.Addr, files []string) {
+		idx, ok := peerIndex[addr]
+		if !ok {
+			idx = len(peerIndex)
+			peerIndex[addr] = idx
+		}
+		tr.Peers = len(peerIndex)
+		for _, name := range files {
+			tr.Records = append(tr.Records, trace.ObjectRecord{Peer: idx, Name: name})
+		}
+	}
 
 	for len(frontier) > 0 {
-		addr := frontier[0]
-		frontier = frontier[1:]
 		if cfg.MaxPeers > 0 && stats.Crawled >= cfg.MaxPeers {
 			break
 		}
+		addr := frontier[0]
+		frontier = frontier[1:]
+
+		st := state[addr]
+		if st == nil {
+			st = &peerState{}
+			state[addr] = st
+		}
+		if st.attempts > 0 {
+			stats.Retried++
+			if d := backoff(cfg, st.attempts, jitter); d > 0 {
+				sleep(d)
+			}
+		}
+		st.attempts++
+
 		discovered, files, err := crawlOne(nw, addr, cfg.PingTTL)
 		switch {
 		case errors.Is(err, gnet.ErrFirewalled):
 			stats.Firewalled++
 		case err != nil:
-			stats.Failed++
+			if len(files) > len(st.bestFiles) {
+				st.bestFiles = files
+			}
+			if st.attempts < cfg.MaxAttempts {
+				frontier = append(frontier, addr) // re-queue the transient failure
+			} else {
+				stats.GaveUp++
+				if len(st.bestFiles) > 0 {
+					stats.PartialBrowses++
+					record(addr, st.bestFiles)
+				} else {
+					stats.Failed++
+				}
+			}
 		default:
-			idx, ok := peerIndex[addr]
-			if !ok {
-				idx = len(peerIndex)
-				peerIndex[addr] = idx
-			}
 			stats.Crawled++
-			tr.Peers = stats.Crawled
-			for _, name := range files {
-				tr.Records = append(tr.Records, trace.ObjectRecord{Peer: idx, Name: name})
-			}
+			record(addr, files)
 		}
 		for _, a := range discovered {
 			if !seen[a] {
@@ -109,8 +207,26 @@ func Crawl(nw *gnet.Network, cfg Config) (*trace.ObjectTrace, *Stats, error) {
 	return tr, stats, nil
 }
 
+// backoff returns the jittered exponential wait before retry number
+// attempt (1 = first retry).
+func backoff(cfg Config, attempt int, jitter *rng.Source) time.Duration {
+	if cfg.BackoffBase <= 0 {
+		return 0
+	}
+	d := cfg.BackoffBase
+	for i := 1; i < attempt && (cfg.BackoffMax <= 0 || d < cfg.BackoffMax); i++ {
+		d *= 2
+	}
+	if cfg.BackoffMax > 0 && d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	// Half fixed, half jittered: wait in [d/2, d).
+	return d/2 + time.Duration(jitter.Float64()*float64(d/2))
+}
+
 // crawlOne dials one peer, discovers its neighbours and browses its
-// library. Even on failure, any addresses already learned are returned.
+// library. Even on failure, any addresses and files already read are
+// returned, so the caller can keep partial progress.
 func crawlOne(nw *gnet.Network, addr gnet.Addr, pingTTL byte) (discovered []gnet.Addr, files []string, err error) {
 	conn, err := nw.Dial(addr)
 	if err != nil {
@@ -152,7 +268,9 @@ func crawlOne(nw *gnet.Network, addr gnet.Addr, pingTTL byte) (discovered []gnet
 	for {
 		m, err := gmsg.ReadMessage(conn)
 		if err != nil {
-			return discovered, nil, fmt.Errorf("crawler: reading from %s: %w", addr, err)
+			// A connection that dies mid-browse still yields the files
+			// already enumerated.
+			return discovered, files, fmt.Errorf("crawler: reading from %s: %w", addr, err)
 		}
 		switch m.Header.Type {
 		case gmsg.TypePong:

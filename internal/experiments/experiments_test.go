@@ -436,6 +436,71 @@ func TestParamsForScalesMonotone(t *testing.T) {
 	}
 }
 
+func TestFaultSweepShape(t *testing.T) {
+	e := tinyEnv(t)
+	res, err := FaultSweepWith(e, FaultSweepConfig{Rates: []float64{0, 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d sweep points", len(res.Points))
+	}
+	clean, faulted := res.Points[0], res.Points[1]
+	// The rate-zero point is the inert plane: full coverage, full record
+	// count, no retries, nothing partial or failed.
+	if clean.Coverage+clean.PartialFrac < 0.999 {
+		t.Errorf("clean coverage = %v (+%v partial), want ~1 of non-firewalled reachable",
+			clean.Coverage, clean.PartialFrac)
+	}
+	if clean.RecordFrac != 1 {
+		t.Errorf("clean record fraction = %v, want exactly 1", clean.RecordFrac)
+	}
+	if clean.Retried != 0 || clean.FailedFrac != 0 || clean.PartialFrac != 0 {
+		t.Errorf("clean point shows fault activity: %+v", clean)
+	}
+	if clean.FloodSuccess < 0.8 {
+		t.Errorf("clean flood success = %v for known-item queries", clean.FloodSuccess)
+	}
+	// At a 40% fault rate the crawl degrades and the crawler works for it.
+	if faulted.Coverage >= clean.Coverage {
+		t.Errorf("faulted coverage %v not below clean %v", faulted.Coverage, clean.Coverage)
+	}
+	if faulted.RecordFrac >= 1 {
+		t.Errorf("faulted record fraction %v not below 1", faulted.RecordFrac)
+	}
+	if faulted.Retried == 0 {
+		t.Error("no retries at a 40% fault rate")
+	}
+	if faulted.FloodSuccess > clean.FloodSuccess {
+		t.Errorf("flood success improved under 40%% loss: %v vs %v",
+			faulted.FloodSuccess, clean.FloodSuccess)
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	cfg := FaultSweepConfig{Rates: []float64{0.3}, DeadFrac: 0.2}
+	a, err := FaultSweepWith(tinyEnv(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweepWith(tinyEnv(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Errorf("sweep not deterministic: %+v vs %+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestFaultSweepRejectsBadRates(t *testing.T) {
+	e := tinyEnv(t)
+	for _, rates := range [][]float64{{-0.1}, {1.5}} {
+		if _, err := FaultSweepWith(e, FaultSweepConfig{Rates: rates}); err == nil {
+			t.Errorf("rate set %v accepted", rates)
+		}
+	}
+}
+
 func TestFig7RankCorrelationLow(t *testing.T) {
 	e := tinyEnv(t)
 	f7, err := Fig7(e)

@@ -1,0 +1,83 @@
+package gnet
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrConnReset is the error surfaced by a connection the fault plane
+// resets mid-stream.
+var ErrConnReset = errors.New("gnet: connection reset by peer")
+
+// ErrTimeout is returned by Dial when a connection attempt times out
+// (dead peer or injected dial fault).
+var ErrTimeout = errors.New("gnet: connection timed out")
+
+// faultConn wraps the client side of a dialed connection and kills it
+// after delivering a bounded number of bytes. In reset mode the death is
+// loud (ErrConnReset on reads and writes); in truncate mode the final
+// message is cut short and followed by a clean EOF, as if the servent
+// closed mid-write.
+type faultConn struct {
+	inner io.ReadWriteCloser
+
+	mu        sync.Mutex
+	remaining int
+	truncate  bool
+	dead      bool
+}
+
+func newFaultConn(inner io.ReadWriteCloser, budget int, truncate bool) *faultConn {
+	return &faultConn{inner: inner, remaining: budget, truncate: truncate}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead || c.remaining <= 0 {
+		c.die()
+		err := error(ErrConnReset)
+		if c.truncate {
+			err = io.EOF
+		}
+		c.mu.Unlock()
+		return 0, err
+	}
+	if len(p) > c.remaining {
+		p = p[:c.remaining]
+	}
+	c.mu.Unlock()
+
+	n, err := c.inner.Read(p)
+
+	c.mu.Lock()
+	c.remaining -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead && !c.truncate {
+		c.mu.Unlock()
+		return 0, ErrConnReset
+	}
+	c.mu.Unlock()
+	return c.inner.Write(p)
+}
+
+// die releases the servent goroutine, whose pipe writes would otherwise
+// block forever once the client stops draining. Callers hold c.mu.
+func (c *faultConn) die() {
+	if !c.dead {
+		c.dead = true
+		c.inner.Close()
+	}
+}
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = true
+	return c.inner.Close()
+}

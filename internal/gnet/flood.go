@@ -65,6 +65,13 @@ func (nw *Network) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 			if seen[env.to] {
 				continue // duplicate suppression by GUID
 			}
+			// Per-hop faults: a dead peer never receives, and a lost copy
+			// is transmitted (already counted) but not delivered. Neither
+			// marks the peer seen, so a copy arriving over another overlay
+			// edge may still get through.
+			if !nw.faults.Alive(env.to) || nw.faults.MessageLoss(env.to) {
+				continue
+			}
 			seen[env.to] = true
 			m, _, err := gmsg.Decode(env.raw)
 			if err != nil {

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"querycentric/internal/catalog"
+	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
 	"querycentric/internal/qrp"
 	"querycentric/internal/rng"
@@ -87,6 +88,10 @@ type Network struct {
 	// qrpTables[p] is leaf p's query-route table, held by its ultrapeers;
 	// nil while QRP is disabled.
 	qrpTables []*qrp.Table
+
+	// faults is the injection plane consulted by Dial, servent sessions
+	// and Flood; nil injects nothing (see SetFaults).
+	faults *faults.Plane
 }
 
 // EnableQRP builds a QRP table for every leaf from its shared library, as
@@ -307,6 +312,9 @@ func (p *Peer) buildIndex() {
 
 // Match returns the library files matching the query criteria under the
 // Gnutella keyword rule (every query token must appear in the file name).
+// It intersects the peer's posting lists directly — rarest token first, so
+// the candidate set never grows — instead of re-tokenizing candidate file
+// names per query token; this sits on the flood hot path.
 func (p *Peer) Match(criteria string) []File {
 	if p.termIndex == nil {
 		p.buildIndex()
@@ -315,26 +323,53 @@ func (p *Peer) Match(criteria string) []File {
 	if len(toks) == 0 {
 		return nil
 	}
-	// Intersect posting lists, starting from the rarest token.
-	sort.Slice(toks, func(i, j int) bool {
-		return len(p.termIndex[toks[i]]) < len(p.termIndex[toks[j]])
+	// Dedupe (queries repeat terms) and order rarest-first.
+	uniq := toks[:0]
+	seen := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			uniq = append(uniq, t)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		return len(p.termIndex[uniq[i]]) < len(p.termIndex[uniq[j]])
 	})
-	base := p.termIndex[toks[0]]
-	if len(base) == 0 {
+	cur := p.termIndex[uniq[0]]
+	for _, tok := range uniq[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = intersectPostings(cur, p.termIndex[tok])
+	}
+	if len(cur) == 0 {
 		return nil
 	}
-	var out []File
-	for _, idx := range base {
-		ok := true
-		name := terms.TokenSet(p.Library[idx].Name)
-		for _, tok := range toks[1:] {
-			if _, has := name[tok]; !has {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, p.Library[idx])
+	out := make([]File, len(cur))
+	for i, idx := range cur {
+		out[i] = p.Library[idx]
+	}
+	return out
+}
+
+// intersectPostings intersects two ascending posting lists into a fresh
+// slice (the term index is never mutated).
+func intersectPostings(a, b []int32) []int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int32, 0, n)
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
 	}
 	return out

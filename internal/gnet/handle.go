@@ -2,10 +2,15 @@ package gnet
 
 import (
 	"bufio"
+	"errors"
 	"io"
 
 	"querycentric/internal/gmsg"
 )
+
+// errPeerDeparted ends a servent session when the fault plane makes the
+// peer depart mid-response; the client just sees the connection close.
+var errPeerDeparted = errors.New("gnet: peer departed")
 
 // msgConn frames gmsg descriptors over a byte stream.
 type msgConn struct {
@@ -119,5 +124,10 @@ func (nw *Network) handleQuery(p *Peer, m *gmsg.Message, c *msgConn) error {
 			return nil
 		}
 		start = end
+		// Session fault: the peer departs between result batches, leaving
+		// the client with a partial enumeration and an EOF.
+		if nw.faults.PeerDepart(p.ID) {
+			return errPeerDeparted
+		}
 	}
 }

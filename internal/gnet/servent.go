@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"querycentric/internal/faults"
 )
 
 // BrowseCriteria is the query string that asks a peer to enumerate its
@@ -18,23 +20,54 @@ const maxResultsPerHit = 200
 // ErrFirewalled is returned by Dial for peers behind a (modeled) firewall.
 var ErrFirewalled = errors.New("gnet: peer is firewalled")
 
+// SetFaults attaches a fault-injection plane to the network. All wire
+// operations (Dial, handshakes, servent sessions, Flood) consult it; a nil
+// plane — the default — injects nothing and leaves every code path
+// byte-identical to the fault-free substrate.
+func (nw *Network) SetFaults(p *faults.Plane) { nw.faults = p }
+
+// Faults returns the attached fault plane (nil when none).
+func (nw *Network) Faults() *faults.Plane { return nw.faults }
+
 // Dial opens a wire connection to the peer at addr, serving the peer's side
 // on a background goroutine. The caller must Close the returned connection.
 // Firewalled peers refuse the connection, as the crawler would observe.
+// Under an attached fault plane a dial may time out (dead peer, injected
+// dial fault), the servent may stall the handshake, or the returned
+// connection may be primed to reset or truncate mid-stream.
 func (nw *Network) Dial(addr Addr) (io.ReadWriteCloser, error) {
 	p := nw.PeerByAddr(addr)
 	if p == nil {
-		return nil, fmt.Errorf("gnet: no peer at %s: connection timed out", addr)
+		return nil, fmt.Errorf("gnet: no peer at %s: %w", addr, ErrTimeout)
+	}
+	if !nw.faults.Alive(p.ID) || nw.faults.DialTimeout(p.ID) {
+		return nil, fmt.Errorf("gnet: dial %s: %w", addr, ErrTimeout)
 	}
 	if nw.firewalled[p.ID] {
 		return nil, ErrFirewalled
 	}
 	client, server := net.Pipe()
+	if nw.faults.HandshakeStall(p.ID) {
+		// The servent reads the client's greeting, goes silent and drops
+		// the connection: the client observes EOF mid-handshake.
+		go func() {
+			defer server.Close()
+			buf := make([]byte, 1024)
+			_, _ = server.Read(buf)
+		}()
+		return client, nil
+	}
 	go func() {
 		defer server.Close()
 		// Errors on the servent side (e.g. client hangs up) end the session.
 		_ = nw.ServeConn(p.ID, server)
 	}()
+	if budget, fire := nw.faults.ConnReset(p.ID); fire {
+		return newFaultConn(client, budget, false), nil
+	}
+	if budget, fire := nw.faults.TruncateWrite(p.ID); fire {
+		return newFaultConn(client, budget, true), nil
+	}
 	return client, nil
 }
 
@@ -65,7 +98,14 @@ func (nw *Network) ServeConn(id int, conn io.ReadWriteCloser) error {
 			}
 			return err
 		}
+		// Session fault: the peer departs before serving this descriptor.
+		if nw.faults.PeerDepart(p.ID) {
+			return nil
+		}
 		if err := nw.handle(p, m, buf); err != nil {
+			if errors.Is(err, errPeerDeparted) {
+				return nil
+			}
 			return err
 		}
 	}

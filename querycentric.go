@@ -145,6 +145,25 @@ func ShortcutsExperiment(e *Env) (*ShortcutsResult, error) {
 	return experiments.ShortcutsExperiment(e)
 }
 
+// FaultSweepResult sweeps substrate fault rates against crawl coverage and
+// flood success (the robustness experiment).
+type (
+	FaultSweepResult = experiments.FaultSweepResult
+	FaultPoint       = experiments.FaultPoint
+	FaultSweepConfig = experiments.FaultSweepConfig
+)
+
+// FaultSweep crawls and floods one population under increasing substrate
+// fault rates, quantifying the trace bias a lossy network introduces into
+// Figures 1–4 and the Figure 8 flood-success degradation.
+func FaultSweep(e *Env) (*FaultSweepResult, error) { return experiments.FaultSweep(e) }
+
+// FaultSweepWith runs the fault sweep with explicit rates, churn-derived
+// dead-peer fraction and crawler attempt budget.
+func FaultSweepWith(e *Env, cfg FaultSweepConfig) (*FaultSweepResult, error) {
+	return experiments.FaultSweepWith(e, cfg)
+}
+
 // SweepPoint is one evaluation-interval setting's mean statistic.
 type SweepPoint = experiments.SweepPoint
 

@@ -7,10 +7,22 @@ import (
 	"querycentric/internal/catalog"
 	"querycentric/internal/crawler"
 	"querycentric/internal/daap"
+	"querycentric/internal/faults"
 	"querycentric/internal/gnet"
 	"querycentric/internal/querygen"
 	"querycentric/internal/trace"
 )
+
+// FaultConfig holds the injectable substrate fault probabilities; the zero
+// value disables every fault (see internal/faults).
+type FaultConfig = faults.Config
+
+// FaultPlane is a deterministic fault-injection engine attachable to the
+// wire substrate.
+type FaultPlane = faults.Plane
+
+// NewFaultPlane builds a fault plane for a configuration.
+var NewFaultPlane = faults.New
 
 // Trace record and container types (tab-separated text on disk; see
 // internal/trace for the format).
@@ -42,6 +54,14 @@ type GnutellaCrawlConfig struct {
 	Peers          int
 	UniqueObjects  int
 	FirewalledFrac float64
+	// Faults configures injected substrate faults (dial timeouts,
+	// handshake stalls, resets, message loss, peer departures). The zero
+	// value injects nothing and leaves the crawl byte-identical to the
+	// fault-free substrate.
+	Faults FaultConfig
+	// MaxAttempts bounds the crawler's per-peer attempt budget for
+	// transient failures (0 → the crawler default of 3).
+	MaxAttempts int
 }
 
 // GnutellaCrawl builds a calibrated content population, stands up the
@@ -65,7 +85,15 @@ func GnutellaCrawl(cfg GnutellaCrawlConfig) (*ObjectTrace, *CrawlStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return crawler.Crawl(nw, crawler.DefaultConfig())
+	if cfg.Faults.Enabled() {
+		nw.SetFaults(faults.New(cfg.Faults))
+	}
+	ccfg := crawler.DefaultConfig()
+	ccfg.Seed = cfg.Seed
+	if cfg.MaxAttempts > 0 {
+		ccfg.MaxAttempts = cfg.MaxAttempts
+	}
+	return crawler.Crawl(nw, ccfg)
 }
 
 // ITunesCrawlConfig sizes a synthetic iTunes share crawl.
