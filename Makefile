@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check clean
+.PHONY: build test vet fmt-check race determinism bench ci check clean
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,27 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
-# The CI gate: static checks plus the full suite under the race detector.
-check: vet race
+# Byte-identical results at 1 vs 8 workers across the experiment runners.
+determinism:
+	$(GO) test -race -run TestWorkerCountDoesNotChangeResults ./internal/experiments/
+
+# Flood hot-path and parallel-engine measurements -> BENCH_flood.json.
+bench:
+	$(GO) run ./cmd/qc-bench -o BENCH_flood.json -scale small
+
+# The CI gate: static checks, formatting, the full suite under the race
+# detector, and the workers=8 determinism regression.
+ci: vet fmt-check race determinism
+
+check: ci
 
 clean:
 	$(GO) clean ./...

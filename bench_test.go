@@ -6,9 +6,13 @@
 package querycentric_test
 
 import (
+	"fmt"
 	"testing"
 
 	qc "querycentric"
+	"querycentric/internal/catalog"
+	"querycentric/internal/gnet"
+	"querycentric/internal/rng"
 )
 
 // benchEnv returns an environment whose shared artifacts are already
@@ -117,6 +121,61 @@ func BenchmarkFig8FloodSuccess(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := qc.Fig8(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Parallel measures the Figure 8 runner across worker-pool
+// sizes; the results are byte-identical at every size, so the sweep reads
+// purely as a wall-clock/scalability curve (bounded by available cores).
+func BenchmarkFig8Parallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := qc.NewEnv(qc.ScaleTiny, 42)
+			e.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := qc.Fig8(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFloodOnce measures one wire-level flood on a reused context —
+// the hot path under every fault-sweep and QRP trial. -benchmem makes the
+// allocation win of the epoch-stamped scratch visible.
+func BenchmarkFloodOnce(b *testing.B) {
+	const peers = 2000
+	cat, err := catalog.Build(catalog.Config{
+		Seed: 5, Peers: peers, UniqueObjects: peers * 25, ReplicaAlpha: 2.45,
+		VariantProb: 0.05, NonSpecificPeerFrac: 0.03,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := gnet.NewFromCatalog(gnet.DefaultConfig(5), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	criteria := ""
+	for _, p := range nw.Peers {
+		if len(p.Library) > 0 {
+			criteria = p.Library[0].Name
+			break
+		}
+	}
+	for _, p := range nw.Peers {
+		p.Match("warmup") // build term indexes outside the timer
+	}
+	ctx := nw.NewFloodCtx()
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Flood(i%peers, criteria, 4, r); err != nil {
 			b.Fatal(err)
 		}
 	}

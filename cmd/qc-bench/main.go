@@ -1,0 +1,273 @@
+// Command qc-bench measures the flood hot path and the parallel trial
+// engine and writes a machine-readable report (BENCH_flood.json):
+//
+//   - ns/op, B/op and allocs/op for one TTL-4 flood on a populated
+//     network, for both the optimised FloodCtx and a map-based baseline
+//     that replays the pre-optimisation algorithm (fresh seen map,
+//     per-envelope decode, per-forwarder encode);
+//   - wall-clock for the Figure 8 sweep at 1, 2, 4 and 8 workers, with
+//     speedups relative to 1 worker.
+//
+// The baseline's equivalence to the historical implementation is pinned
+// by TestFloodMatchesNaiveReference in internal/gnet.
+//
+// Usage:
+//
+//	qc-bench -o BENCH_flood.json -scale tiny
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	qc "querycentric"
+	"querycentric/internal/catalog"
+	"querycentric/internal/gmsg"
+	"querycentric/internal/gnet"
+	"querycentric/internal/rng"
+)
+
+// FloodBench is one micro-benchmark row.
+type FloodBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Fig8Point is one worker-count timing of the Figure 8 sweep.
+type Fig8Point struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_1_worker"`
+}
+
+// Report is the BENCH_flood.json schema.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	FloodPeers   int          `json:"flood_peers"`
+	FloodTTL     int          `json:"flood_ttl"`
+	Flood        []FloodBench `json:"flood"`
+	FloodSpeedup float64      `json:"flood_speedup_ns"`
+	AllocsRatio  float64      `json:"flood_allocs_ratio"`
+
+	Fig8Scale string      `json:"fig8_scale"`
+	Fig8Nodes int         `json:"fig8_nodes"`
+	Fig8      []Fig8Point `json:"fig8"`
+
+	Note string `json:"note"`
+}
+
+func main() {
+	testing.Init() // register -test.* flags so benchtime is adjustable
+	var (
+		out       = flag.String("o", "BENCH_flood.json", "output file")
+		peers     = flag.Int("peers", 2000, "network size for the flood micro-benchmark")
+		scaleName = flag.String("scale", "tiny", "scale for the Fig8 worker sweep (tiny|small|default|full)")
+		benchtime = flag.Duration("benchtime", time.Second, "target duration per micro-benchmark")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FloodPeers: *peers,
+		FloodTTL:   4,
+		Note: "flood rows compare the optimised FloodCtx against the " +
+			"pre-optimisation map-based algorithm on the same network and " +
+			"query stream; fig8 speedups are bounded above by gomaxprocs.",
+	}
+
+	nw, criteria := buildNet(*peers)
+	fmt.Fprintf(os.Stderr, "qc-bench: flood micro-benchmark, %d peers, ttl %d\n", *peers, rep.FloodTTL)
+	naive := runBench("flood_naive_map", *benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := floodBaseline(nw, i%*peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ctx := nw.NewFloodCtx()
+	opt := runBench("flood_ctx", *benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Flood(i%*peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Flood = []FloodBench{naive, opt}
+	if opt.NsPerOp > 0 {
+		rep.FloodSpeedup = naive.NsPerOp / opt.NsPerOp
+	}
+	if opt.AllocsPerOp > 0 {
+		rep.AllocsRatio = float64(naive.AllocsPerOp) / float64(opt.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: naive %.0f ns/op %d allocs/op; ctx %.0f ns/op %d allocs/op (%.2fx ns, %.1fx allocs)\n",
+		naive.NsPerOp, naive.AllocsPerOp, opt.NsPerOp, opt.AllocsPerOp, rep.FloodSpeedup, rep.AllocsRatio)
+
+	scale, err := qc.ParseScale(*scaleName)
+	if err != nil {
+		fail(err)
+	}
+	rep.Fig8Scale = *scaleName
+	for _, workers := range []int{1, 2, 4, 8} {
+		env := qc.NewEnv(scale, 42)
+		env.Workers = workers
+		start := time.Now()
+		f8, err := qc.Fig8(env)
+		if err != nil {
+			fail(err)
+		}
+		secs := time.Since(start).Seconds()
+		rep.Fig8Nodes = f8.Nodes
+		pt := Fig8Point{Workers: workers, Seconds: secs, Speedup: 1}
+		if len(rep.Fig8) > 0 && secs > 0 {
+			pt.Speedup = rep.Fig8[0].Seconds / secs
+		}
+		rep.Fig8 = append(rep.Fig8, pt)
+		fmt.Fprintf(os.Stderr, "qc-bench: fig8 %s workers=%d %.2fs (%.2fx)\n", *scaleName, workers, secs, pt.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: wrote %s\n", *out)
+}
+
+// runBench adapts testing.Benchmark to a FloodBench row.
+func runBench(name string, d time.Duration, fn func(b *testing.B)) FloodBench {
+	prev := flag.Lookup("test.benchtime")
+	if prev != nil {
+		prev.Value.Set(d.String())
+	}
+	r := testing.Benchmark(fn)
+	return FloodBench{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// buildNet constructs the benchmark network (the same configuration as
+// BenchmarkFloodOnce) and returns a criteria string that hits.
+func buildNet(peers int) (*gnet.Network, string) {
+	cat, err := catalog.Build(catalog.Config{
+		Seed: 5, Peers: peers, UniqueObjects: peers * 25, ReplicaAlpha: 2.45,
+		VariantProb: 0.05, NonSpecificPeerFrac: 0.03,
+	})
+	if err != nil {
+		fail(err)
+	}
+	nw, err := gnet.NewFromCatalog(gnet.DefaultConfig(5), cat)
+	if err != nil {
+		fail(err)
+	}
+	criteria := ""
+	for _, p := range nw.Peers {
+		p.Match("warmup") // build term indexes outside the timed region
+		if criteria == "" && len(p.Library) > 0 {
+			criteria = p.Library[0].Name
+		}
+	}
+	return nw, criteria
+}
+
+// floodBaseline replays the pre-optimisation flood on a fault-free,
+// QRP-free network through the exported API: a fresh seen map per flood,
+// one Decode per delivered envelope and one Encode per forwarding peer.
+// TestFloodMatchesNaiveReference (internal/gnet) pins this algorithm's
+// equivalence with the optimised path.
+func floodBaseline(nw *gnet.Network, origin int, criteria string, ttl int, r *rng.Source) (*gnet.FloodResult, error) {
+	guid := gmsg.GUIDFromUint64s(r.Uint64(), r.Uint64())
+	q := &gmsg.Message{
+		Header: gmsg.Header{GUID: guid, Type: gmsg.TypeQuery, TTL: byte(ttl)},
+		Query:  &gmsg.Query{Criteria: criteria},
+	}
+	res := &gnet.FloodResult{GUID: guid, Criteria: criteria, TTL: ttl}
+	seen := map[int]bool{origin: true}
+	type envelope struct {
+		to  int
+		raw []byte
+	}
+	frontier := make([]envelope, 0, len(nw.Peers[origin].Neighbors))
+	raw, err := gmsg.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	for _, nb := range nw.Peers[origin].Neighbors {
+		frontier = append(frontier, envelope{to: nb, raw: raw})
+		res.Messages++
+	}
+	for len(frontier) > 0 {
+		var next []envelope
+		for _, env := range frontier {
+			if seen[env.to] {
+				continue
+			}
+			seen[env.to] = true
+			m, _, err := gmsg.Decode(env.raw)
+			if err != nil {
+				return nil, err
+			}
+			res.PeersReached++
+			peer := nw.Peers[env.to]
+			if files := peer.Match(m.Query.Criteria); len(files) > 0 {
+				hit := gnet.Hit{PeerID: env.to, Hops: int(m.Header.Hops) + 1}
+				for _, f := range files {
+					hit.Files = append(hit.Files, gmsg.Result{
+						FileIndex: f.Index, FileSize: f.Size, FileName: f.Name,
+					})
+				}
+				res.Hits = append(res.Hits, hit)
+				res.TotalResults += len(files)
+			}
+			if m.Header.TTL <= 1 {
+				continue
+			}
+			if nw.Config.UltrapeerFrac > 0 && !peer.Ultrapeer {
+				continue
+			}
+			fwd := *m
+			fwd.Header.TTL--
+			fwd.Header.Hops++
+			fraw, err := gmsg.Encode(&fwd)
+			if err != nil {
+				return nil, err
+			}
+			for _, nb := range peer.Neighbors {
+				if !seen[nb] {
+					next = append(next, envelope{to: nb, raw: fraw})
+					res.Messages++
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qc-bench:", err)
+	os.Exit(1)
+}

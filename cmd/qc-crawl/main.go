@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	qc "querycentric"
+	"querycentric/internal/profiling"
 )
 
 func main() {
@@ -49,8 +50,21 @@ func main() {
 		sweepRates = flag.String("fault-rates", "", "comma-separated fault rates to sweep (default 0,0.05,0.1,0.2,0.3,0.4,0.5)")
 		sweepDead  = flag.Float64("dead", 0, "fraction of peers offline (churn liveness mask) at non-zero sweep rates")
 		scaleName  = flag.String("scale", "default", "population scale for -fault-sweep (tiny|small|default|full)")
+		workers    = flag.Int("workers", 0, "trial worker pool size for -fault-sweep floods (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := finishProfiles(); err != nil {
+			fail(err)
+		}
+	}()
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -63,7 +77,7 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(w, *scaleName, *seed, *sweepRates, *sweepDead, *attempts)
+		runSweep(w, *scaleName, *seed, *sweepRates, *sweepDead, *attempts, *workers)
 		return
 	}
 
@@ -99,7 +113,7 @@ func main() {
 // runSweep runs the fault-rate degradation experiment and writes the .dat
 // table (rate, coverage, partial, failed, record fraction, retries, flood
 // success).
-func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead float64, attempts int) {
+func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead float64, attempts, workers int) {
 	scale, err := qc.ParseScale(scaleName)
 	if err != nil {
 		fail(err)
@@ -115,6 +129,7 @@ func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead 
 		}
 	}
 	env := qc.NewEnv(scale, seed)
+	env.Workers = workers
 	res, err := qc.FaultSweepWith(env, qc.FaultSweepConfig{
 		Rates:       rates,
 		DeadFrac:    dead,

@@ -14,13 +14,17 @@ import (
 	"path/filepath"
 
 	qc "querycentric"
+	"querycentric/internal/profiling"
 )
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "default", "tiny|small|default|full")
-		seed      = flag.Uint64("seed", 42, "root random seed")
-		outDir    = flag.String("out", "out", "output directory")
+		scaleName  = flag.String("scale", "default", "tiny|small|default|full")
+		seed       = flag.Uint64("seed", 42, "root random seed")
+		outDir     = flag.String("out", "out", "output directory")
+		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
@@ -30,7 +34,17 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}
+	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := finishProfiles(); err != nil {
+			fail(err)
+		}
+	}()
 	env := qc.NewEnv(scale, *seed)
+	env.Workers = *workers
 	sum, err := os.Create(filepath.Join(*outDir, "summary.txt"))
 	if err != nil {
 		fail(err)

@@ -17,21 +17,35 @@ import (
 	"os"
 
 	qc "querycentric"
+	"querycentric/internal/profiling"
 )
 
 func main() {
 	var (
-		mode      = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|walk|replication|synopsis|faults")
-		scaleName = flag.String("scale", "default", "tiny|small|default|full")
-		seed      = flag.Uint64("seed", 42, "root random seed")
-		deadFrac  = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
+		mode       = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|walk|replication|synopsis|faults")
+		scaleName  = flag.String("scale", "default", "tiny|small|default|full")
+		seed       = flag.Uint64("seed", 42, "root random seed")
+		deadFrac   = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
+		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
 	if err != nil {
 		fail(err)
 	}
+	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := finishProfiles(); err != nil {
+			fail(err)
+		}
+	}()
 	env := qc.NewEnv(scale, *seed)
+	env.Workers = *workers
 	switch *mode {
 	case "coverage":
 		c, err := qc.TTLCoverage(env)

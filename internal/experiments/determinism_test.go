@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestWorkerCountDoesNotChangeResults is the parallel-engine determinism
+// regression: every ported runner must marshal byte-identically at one
+// worker and at eight. Each trial owns a derived RNG stream and reductions
+// walk trial order, so the worker count can only change who executes a
+// trial — never what it computes.
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	runners := []struct {
+		name string
+		run  func(e *Env) (any, error)
+	}{
+		{"Fig8", func(e *Env) (any, error) { return Fig8(e) }},
+		{"TTLCoverage", func(e *Env) (any, error) { return TTLCoverage(e) }},
+		{"FaultSweep", func(e *Env) (any, error) {
+			// Trim the grid: three rates cover clean, lossy and dead-peer
+			// paths without tripling the tiny-scale runtime.
+			return FaultSweepWith(e, FaultSweepConfig{
+				Rates:    []float64{0, 0.2, 0.4},
+				DeadFrac: 0.15,
+			})
+		}},
+		{"QRPEffect", func(e *Env) (any, error) { return QRPEffect(e) }},
+		{"WalkVsFlood", func(e *Env) (any, error) { return WalkVsFlood(e) }},
+	}
+	for _, rn := range runners {
+		rn := rn
+		t.Run(rn.name, func(t *testing.T) {
+			t.Parallel()
+			marshal := func(workers int) []byte {
+				e := NewEnv(ScaleTiny, 42)
+				e.Workers = workers
+				res, err := rn.run(e)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				b, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			seq := marshal(1)
+			par := marshal(8)
+			if string(seq) != string(par) {
+				t.Fatalf("%s diverged between workers=1 and workers=8:\n%s\nvs\n%s",
+					rn.name, seq, par)
+			}
+			// And a repeat at 8 workers is stable run-to-run.
+			if again := marshal(8); string(again) != string(par) {
+				t.Fatalf("%s not stable across repeated workers=8 runs", rn.name)
+			}
+		})
+	}
+}

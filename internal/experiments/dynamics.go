@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"querycentric/internal/churn"
 	"querycentric/internal/overlay"
+	"querycentric/internal/parallel"
 	"querycentric/internal/rng"
 	"querycentric/internal/search"
 )
@@ -45,14 +48,16 @@ func ChurnComparison(e *Env) (*ChurnResult, error) {
 	cfg := churn.DefaultConfig(e.Seed + 82)
 	cfg.Duration = 2 * 3600
 	cfg.QueriesPerSample = maxIntE(e.P.SimTrials/4, 50)
-	rUni, err := churn.Run(g, uni, cfg)
+	// The two placements are measured over independent churn runs; fan
+	// them out (each run is internally deterministic from its own config).
+	places := []*search.Placement{uni, zpf}
+	runs, err := parallel.Map(e.workers(), len(places), func(i int) (*churn.Result, error) {
+		return churn.Run(g, places[i], cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rZpf, err := churn.Run(g, zpf, cfg)
-	if err != nil {
-		return nil, err
-	}
+	rUni, rZpf := runs[0], runs[1]
 	return &ChurnResult{
 		Nodes:          nodes,
 		MeanOnline:     rUni.MeanOnline,
@@ -101,38 +106,57 @@ func WalkVsFlood(e *Env) (*WalkVsFloodResult, error) {
 	if trials < 150 {
 		trials = 150
 	}
-	r := rng.NewNamed(e.Seed, "experiments/walk-vs-flood")
+	base := rng.NewNamed(e.Seed, "experiments/walk-vs-flood")
 	res := &WalkVsFloodResult{Nodes: nodes}
+	// Trial i draws origin, object and walk randomness from the derived
+	// stream "trial/i"; each worker searches through its own Searcher.
+	type trial struct {
+		fFound, wFound, rFound bool
+		fMsgs, wMsgs, rMsgs    int
+	}
+	out, err := parallel.MapWith(e.workers(), trials,
+		func() *search.Searcher { return eng.NewSearcher() },
+		func(s *search.Searcher, i int) (trial, error) {
+			r := base.Derive(fmt.Sprintf("trial/%d", i))
+			origin := r.Intn(nodes)
+			obj := r.Intn(objects)
+			var t trial
+			fl, err := s.Flood(origin, obj, 3)
+			if err != nil {
+				return t, err
+			}
+			t.fFound, t.fMsgs = fl.Found, fl.Messages
+			// Walker budget below the flood cost (8 walkers × 48 steps).
+			wk, err := s.RandomWalk(origin, obj, 8, 48, r)
+			if err != nil {
+				return t, err
+			}
+			t.wFound, t.wMsgs = wk.Found, wk.Messages
+			er, err := s.ExpandingRing(origin, obj, 3)
+			if err != nil {
+				return t, err
+			}
+			t.rFound, t.rMsgs = er.Found, er.Messages
+			return t, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var fHits, wHits, rHits int
 	var fMsgs, wMsgs, rMsgs int
-	for i := 0; i < trials; i++ {
-		origin := r.Intn(nodes)
-		obj := r.Intn(objects)
-		fl, err := eng.Flood(origin, obj, 3)
-		if err != nil {
-			return nil, err
-		}
-		if fl.Found {
+	for _, t := range out {
+		if t.fFound {
 			fHits++
 		}
-		fMsgs += fl.Messages
-		// Walker budget below the flood cost (8 walkers × 48 steps).
-		wk, err := eng.RandomWalk(origin, obj, 8, 48, r)
-		if err != nil {
-			return nil, err
-		}
-		if wk.Found {
+		if t.wFound {
 			wHits++
 		}
-		wMsgs += wk.Messages
-		er, err := eng.ExpandingRing(origin, obj, 3)
-		if err != nil {
-			return nil, err
-		}
-		if er.Found {
+		if t.rFound {
 			rHits++
 		}
-		rMsgs += er.Messages
+		fMsgs += t.fMsgs
+		wMsgs += t.wMsgs
+		rMsgs += t.rMsgs
 	}
 	ft := float64(trials)
 	res.FloodSuccess, res.FloodMessages = float64(fHits)/ft, float64(fMsgs)/ft

@@ -14,6 +14,7 @@ import (
 	"querycentric/internal/crawler"
 	"querycentric/internal/daap"
 	"querycentric/internal/gnet"
+	"querycentric/internal/parallel"
 	"querycentric/internal/querygen"
 	"querycentric/internal/trace"
 )
@@ -120,6 +121,13 @@ type Env struct {
 	Seed uint64
 	P    Params
 
+	// Workers bounds the trial-level worker pool used by the experiment
+	// runners; 0 (the default) resolves to GOMAXPROCS. Results are
+	// byte-identical for every value — each trial derives its own RNG
+	// stream and workers only change who executes it (see
+	// internal/parallel).
+	Workers int
+
 	mu        sync.Mutex
 	objTrace  *trace.ObjectTrace
 	objStats  *crawler.Stats
@@ -133,6 +141,9 @@ type Env struct {
 func NewEnv(scale Scale, seed uint64) *Env {
 	return &Env{Seed: seed, P: ParamsFor(scale)}
 }
+
+// workers resolves the environment's worker bound.
+func (e *Env) workers() int { return parallel.Workers(e.Workers) }
 
 // ObjectTrace builds (once) the synthetic Gnutella population, runs the
 // wire-level crawler against it and returns the observed object trace.

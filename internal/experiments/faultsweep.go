@@ -8,6 +8,7 @@ import (
 	"querycentric/internal/crawler"
 	"querycentric/internal/faults"
 	"querycentric/internal/gnet"
+	"querycentric/internal/parallel"
 	"querycentric/internal/rng"
 )
 
@@ -161,7 +162,7 @@ func FaultSweepWith(e *Env, cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		if cleanRecords > 0 {
 			pt.RecordFrac = float64(len(tr.Records)) / float64(cleanRecords)
 		}
-		pt.FloodSuccess = floodSuccess(nw, queries, e.Seed+uint64(i))
+		pt.FloodSuccess = floodSuccess(nw, queries, e.Seed+uint64(i), e.workers())
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
@@ -169,21 +170,31 @@ func FaultSweepWith(e *Env, cfg FaultSweepConfig) (*FaultSweepResult, error) {
 
 // floodSuccess floods known-item queries (an existing file name, held by
 // at least one other peer) from random live origins and reports the hit
-// fraction — the crawl-independent flood-degradation measure.
-func floodSuccess(nw *gnet.Network, queries int, seed uint64) float64 {
-	r := rng.NewNamed(seed, "experiments/faultsweep-queries")
+// fraction — the crawl-independent flood-degradation measure. Query q
+// draws everything (origin, target, flood randomness) from the derived
+// stream "trial/q" and each worker floods through its own context, so the
+// fraction is byte-identical at every worker count.
+func floodSuccess(nw *gnet.Network, queries int, seed uint64, workers int) float64 {
+	base := rng.NewNamed(seed, "experiments/faultsweep-queries")
 	plane := nw.Faults()
+	found, _ := parallel.MapWith(workers, queries,
+		func() *gnet.FloodCtx { return nw.NewFloodCtx() },
+		func(ctx *gnet.FloodCtx, q int) (bool, error) {
+			r := base.Derive(fmt.Sprintf("trial/%d", q))
+			origin := pickAlive(nw, plane, r, -1)
+			target := pickAlive(nw, plane, r, origin)
+			if origin < 0 || target < 0 {
+				return false, nil
+			}
+			lib := nw.Peers[target].Library
+			criteria := lib[r.Intn(len(lib))].Name
+			res, err := ctx.Flood(origin, criteria, 4, r)
+			// Flood errors count as misses, as in the sequential sweep.
+			return err == nil && res.TotalResults > 0, nil
+		})
 	hits := 0
-	for q := 0; q < queries; q++ {
-		origin := pickAlive(nw, plane, r, -1)
-		target := pickAlive(nw, plane, r, origin)
-		if origin < 0 || target < 0 {
-			continue
-		}
-		lib := nw.Peers[target].Library
-		criteria := lib[r.Intn(len(lib))].Name
-		res, err := nw.Flood(origin, criteria, 4, r)
-		if err == nil && res.TotalResults > 0 {
+	for _, f := range found {
+		if f {
 			hits++
 		}
 	}

@@ -33,11 +33,11 @@ func TTLCoverage(e *Env) (*TTLCoverageResult, error) {
 	if samples < 20 {
 		samples = 20
 	}
-	fracs, err := overlay.CoverageStats(g, MaxTTL, samples, e.Seed+3)
+	fracs, err := overlay.CoverageStatsN(g, MaxTTL, samples, e.Seed+3, e.workers())
 	if err != nil {
 		return nil, err
 	}
-	hops, err := overlay.MeanQueryHops(g, 3, samples, e.Seed+4)
+	hops, err := overlay.MeanQueryHopsN(g, 3, samples, e.Seed+4, e.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func Fig8(e *Env) (*Fig8Result, error) {
 		}
 		curve := Fig8Curve{Label: fmt.Sprintf("uniform-%d", base), Replicas: reps}
 		for ttl := 1; ttl <= MaxTTL; ttl++ {
-			rate, err := eng.SuccessRate(ttl, trials, pick, e.Seed+7+uint64(ttl))
+			rate, err := eng.SuccessRateN(ttl, trials, pick, e.Seed+7+uint64(ttl), e.workers())
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +114,7 @@ func Fig8(e *Env) (*Fig8Result, error) {
 	}
 	curve := Fig8Curve{Label: "zipf"}
 	for ttl := 1; ttl <= MaxTTL; ttl++ {
-		rate, err := eng.SuccessRate(ttl, trials, pick, e.Seed+20+uint64(ttl))
+		rate, err := eng.SuccessRateN(ttl, trials, pick, e.Seed+20+uint64(ttl), e.workers())
 		if err != nil {
 			return nil, err
 		}

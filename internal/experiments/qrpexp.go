@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"querycentric/internal/catalog"
 	"querycentric/internal/gnet"
+	"querycentric/internal/parallel"
 	"querycentric/internal/rng"
 	"querycentric/internal/terms"
 )
@@ -67,18 +70,34 @@ func QRPEffect(e *Env) (*QRPResult, error) {
 		}
 	}
 
+	// Each query floods under its own derived stream "trial/i" on a
+	// per-worker context; hits and messages are summed in query order, so
+	// both passes (plain, QRP) are byte-identical at any worker count.
 	run := func(seed uint64) (success float64, messages int, err error) {
-		r := rng.NewNamed(seed, "experiments/qrp-run")
+		base := rng.NewNamed(seed, "experiments/qrp-run")
+		type trial struct {
+			hit  bool
+			msgs int
+		}
+		out, err := parallel.MapWith(e.workers(), len(queries),
+			func() *gnet.FloodCtx { return nw.NewFloodCtx() },
+			func(ctx *gnet.FloodCtx, i int) (trial, error) {
+				r := base.Derive(fmt.Sprintf("trial/%d", i))
+				res, err := ctx.Flood(i%peers, queries[i], 4, r)
+				if err != nil {
+					return trial{}, err
+				}
+				return trial{hit: res.TotalResults > 0, msgs: res.Messages}, nil
+			})
+		if err != nil {
+			return 0, 0, err
+		}
 		hits := 0
-		for i, q := range queries {
-			res, err := nw.Flood(i%peers, q, 4, r)
-			if err != nil {
-				return 0, 0, err
-			}
-			if res.TotalResults > 0 {
+		for _, t := range out {
+			if t.hit {
 				hits++
 			}
-			messages += res.Messages
+			messages += t.msgs
 		}
 		return float64(hits) / float64(len(queries)), messages, nil
 	}

@@ -122,6 +122,19 @@ func (p *Plane) Alive(id int) bool {
 	return p.alive[id]
 }
 
+// LivenessSnapshot returns the current liveness mask, nil when every peer
+// is alive. The slice is shared with the plane and must be treated as
+// read-only; flood contexts capture it once per flood so the per-envelope
+// liveness test costs an index instead of a mutex acquisition.
+func (p *Plane) LivenessSnapshot() []bool {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}
+
 // next returns the per-(site, key) call counter, post-incremented.
 func (p *Plane) next(site string, key uint64) uint64 {
 	ck := counterKey{site, key}
@@ -206,7 +219,31 @@ func (p *Plane) PeerDepart(id int) bool {
 // MessageLoss reports whether one flooded descriptor addressed to peer id
 // is lost in transit. Each transmission rolls independently, so a copy
 // arriving over another overlay edge may still get through.
+//
+// The decision consumes the plane-global (site, to) counter, so it is
+// deterministic only when every loss roll in the process happens in one
+// fixed order. Concurrent floods must use MessageLossAt instead.
 func (p *Plane) MessageLoss(to int) bool {
 	_, fire := p.roll(siteLoss, uint64(to), p.Config().MessageLoss)
 	return fire
+}
+
+// MessageLossAt decides whether the nth descriptor transmitted to peer
+// `to` within the flood identified by salt is lost. Unlike MessageLoss,
+// the decision is a pure function of (seed, salt, to, n): it reads no
+// plane state beyond the configuration, so floods running on different
+// workers — or the same floods re-run in a different order — observe
+// identical loss schedules. Callers derive salt from per-trial randomness
+// (the flood GUID) and count n per destination within the flood.
+func (p *Plane) MessageLossAt(salt uint64, to int, n uint64) bool {
+	if p == nil {
+		return false
+	}
+	prob := p.cfg.MessageLoss
+	if prob <= 0 {
+		return false
+	}
+	derived := p.cfg.Seed ^ (salt * 0x94d049bb133111eb) ^
+		(uint64(to) * 0x9e3779b97f4a7c15) ^ (n * 0xbf58476d1ce4e5b9)
+	return rng.NewNamed(derived, siteLoss).Bool(prob)
 }

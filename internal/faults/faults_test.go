@@ -107,6 +107,70 @@ func TestSchedulePerKeyIndependentOfInterleaving(t *testing.T) {
 	}
 }
 
+func TestMessageLossAtIsScheduleInvariant(t *testing.T) {
+	p := New(Config{Seed: 11, MessageLoss: 0.3})
+	// The decision must be a pure function of (salt, to, n): interleaving
+	// other rolls, or consuming the plane-global counters, must not change
+	// it.
+	want := make(map[[3]uint64]bool)
+	for salt := uint64(0); salt < 4; salt++ {
+		for to := 0; to < 20; to++ {
+			for n := uint64(0); n < 3; n++ {
+				want[[3]uint64{salt, uint64(to), n}] = p.MessageLossAt(salt, to, n)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		p.MessageLoss(i % 7) // churn the global counters
+	}
+	for n := uint64(3); n > 0; n-- { // reversed order
+		for to := 19; to >= 0; to-- {
+			for salt := uint64(3); ; salt-- {
+				if got := p.MessageLossAt(salt, to, n-1); got != want[[3]uint64{salt, uint64(to), n - 1}] {
+					t.Fatalf("MessageLossAt(%d,%d,%d) changed across orderings", salt, to, n-1)
+				}
+				if salt == 0 {
+					break
+				}
+			}
+		}
+	}
+	// Inert planes draw nothing.
+	var nilPlane *Plane
+	if nilPlane.MessageLossAt(1, 2, 3) || New(Config{Seed: 11}).MessageLossAt(1, 2, 3) {
+		t.Error("inert plane lost a message")
+	}
+	// Distinct salts must decorrelate: two floods over the same edges see
+	// different schedules.
+	same := 0
+	const probes = 400
+	for i := 0; i < probes; i++ {
+		if p.MessageLossAt(1, i, 0) == p.MessageLossAt(2, i, 0) {
+			same++
+		}
+	}
+	if same == probes {
+		t.Error("salts 1 and 2 produced identical schedules")
+	}
+}
+
+func TestLivenessSnapshotSharesMask(t *testing.T) {
+	p := New(Config{Seed: 3})
+	if p.LivenessSnapshot() != nil {
+		t.Error("fresh plane has a mask")
+	}
+	var nilPlane *Plane
+	if nilPlane.LivenessSnapshot() != nil {
+		t.Error("nil plane has a mask")
+	}
+	mask := []bool{true, false, true}
+	p.SetLiveness(mask)
+	snap := p.LivenessSnapshot()
+	if len(snap) != 3 || snap[1] {
+		t.Errorf("snapshot %v does not reflect the mask", snap)
+	}
+}
+
 func TestDialTimeoutIsTransient(t *testing.T) {
 	// At a 50% dial-fault rate, repeated attempts to the same peer must
 	// eventually get through (the schedule re-rolls per attempt).

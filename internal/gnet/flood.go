@@ -2,8 +2,12 @@ package gnet
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
+	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
+	"querycentric/internal/qrp"
 	"querycentric/internal/rng"
 )
 
@@ -22,65 +26,161 @@ type FloodResult struct {
 	PeersReached int   // peers that processed the query (excluding origin)
 	Hits         []Hit // responding peers and their matching files
 	TotalResults int   // total matching files across all hits
-	Messages     int   // query descriptors transmitted (protocol cost)
+
+	// Messages counts query descriptors transmitted — the paper's protocol
+	// cost. A descriptor is counted when a peer puts it on a connection,
+	// so copies sent to a peer that another same-ring copy reaches first
+	// ARE counted (both were physically transmitted before the recipient's
+	// duplicate-suppression state could exist) and then dropped unprocessed
+	// at the receiver. Copies to peers already processed in an earlier ring
+	// are never sent: by then the forwarding ultrapeer has itself seen the
+	// GUID relayed, approximating per-connection routing tables.
+	Messages int
+}
+
+// FloodCtx is a reusable, single-goroutine flood engine over one network:
+// epoch-stamped visit and loss-counter arrays, reusable frontier buffers,
+// and per-flood fault/QRP state. A context eliminates the per-flood `seen`
+// map and per-peer descriptor re-encoding of the naive implementation; the
+// parallel trial engine gives each worker its own context via NewFloodCtx.
+//
+// A FloodCtx must not be shared between goroutines. The network itself
+// (topology, libraries, QRP tables, fault plane) must not be mutated while
+// floods run.
+type FloodCtx struct {
+	nw *Network
+
+	seen      []int32 // epoch stamp of the flood that processed the peer
+	lossEpoch []int32 // epoch stamp validating lossN
+	lossN     []int32 // per-flood deliveries attempted to the peer
+	epoch     int32
+
+	frontier []int32
+	next     []int32
+	toks     []string // per-peer sort scratch for MatchTokens
+}
+
+// NewFloodCtx returns a flood context for this network, typically one per
+// worker goroutine.
+func (nw *Network) NewFloodCtx() *FloodCtx {
+	n := len(nw.Peers)
+	return &FloodCtx{
+		nw:        nw,
+		seen:      make([]int32, n),
+		lossEpoch: make([]int32, n),
+		lossN:     make([]int32, n),
+	}
+}
+
+// bump advances the flood epoch, clearing the stamp arrays on the (rare)
+// wrap so stale stamps can never alias a live epoch.
+func (c *FloodCtx) bump() int32 {
+	c.epoch++
+	if c.epoch == math.MaxInt32 {
+		for i := range c.seen {
+			c.seen[i] = 0
+			c.lossEpoch[i] = 0
+		}
+		c.epoch = 1
+	}
+	return c.epoch
+}
+
+// lost decides whether this delivery attempt to peer `to` is dropped,
+// counting attempts per (flood, destination) so the decision is a pure
+// function of the flood's salt — independent of any other flood, on any
+// worker.
+func (c *FloodCtx) lost(plane *faults.Plane, salt uint64, to int32) bool {
+	var n int32
+	if c.lossEpoch[to] == c.epoch {
+		n = c.lossN[to]
+	} else {
+		c.lossEpoch[to] = c.epoch
+	}
+	c.lossN[to] = n + 1
+	return plane.MessageLossAt(salt, int(to), uint64(n))
 }
 
 // Flood floods a keyword query from origin with the given TTL, following
 // the Gnutella forwarding rules: decrement TTL / increment hops per hop,
 // drop descriptors whose GUID was already seen, answer from each reached
-// peer's library. Each hop encodes and re-decodes the descriptor so the
-// wire format stays on the measurement path.
-func (nw *Network) Flood(origin int, criteria string, ttl int, r *rng.Source) (*FloodResult, error) {
+// peer's library. The descriptor is encoded and re-decoded once per TTL
+// ring — every copy at a given depth is byte-identical, so the wire format
+// stays on the measurement path without being re-serialized per edge.
+func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*FloodResult, error) {
+	nw := c.nw
 	if origin < 0 || origin >= len(nw.Peers) {
 		return nil, fmt.Errorf("gnet: origin %d out of range", origin)
 	}
 	if ttl < 1 || ttl > 255 {
 		return nil, fmt.Errorf("gnet: TTL %d out of range", ttl)
 	}
-	guid := gmsg.GUIDFromUint64s(r.Uint64(), r.Uint64())
+	ga, gb := r.Uint64(), r.Uint64()
+	guid := gmsg.GUIDFromUint64s(ga, gb)
+	// The salt ties this flood's fault schedule to its own randomness, so
+	// schedules are per-trial deterministic regardless of worker count.
+	salt := ga ^ bits.RotateLeft64(gb, 32)
 	q := &gmsg.Message{
 		Header: gmsg.Header{GUID: guid, Type: gmsg.TypeQuery, TTL: byte(ttl)},
 		Query:  &gmsg.Query{Criteria: criteria},
 	}
 	res := &FloodResult{GUID: guid, Criteria: criteria, TTL: ttl}
-	seen := map[int]bool{origin: true}
+	epoch := c.bump()
+	c.seen[origin] = epoch
 
-	type envelope struct {
-		to  int
-		raw []byte
+	// Per-flood hoists: the query's deduped token list (identical for
+	// every reached peer), the QRP hash of the criteria (identical for
+	// every candidate edge), the liveness mask, and whether loss rolls
+	// are live.
+	toks := TokenizeQuery(criteria)
+	hoist := nw.hoistQRP(criteria)
+	plane := nw.faults
+	alive := plane.LivenessSnapshot()
+	lossy := plane.Config().MessageLoss > 0
+	dead := func(to int32) bool {
+		return alive != nil && int(to) < len(alive) && !alive[to]
 	}
-	frontier := make([]envelope, 0, len(nw.Peers[origin].Neighbors))
+
 	raw, err := gmsg.Encode(q)
 	if err != nil {
 		return nil, err
 	}
+	frontier, next := c.frontier[:0], c.next[:0]
+	defer func() { c.frontier, c.next = frontier[:0], next[:0] }()
 	for _, nb := range nw.Peers[origin].Neighbors {
-		frontier = append(frontier, envelope{to: nb, raw: raw})
+		frontier = append(frontier, int32(nb))
 		res.Messages++
 	}
 
+	twoTier := nw.Config.UltrapeerFrac > 0
 	for len(frontier) > 0 {
-		var next []envelope
-		for _, env := range frontier {
-			if seen[env.to] {
+		// One decode per ring keeps the codec on the measurement path;
+		// every envelope in the ring carries these exact bytes.
+		m, _, err := gmsg.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("gnet: hop decode: %w", err)
+		}
+		hops := int(m.Header.Hops) + 1
+		forwards := m.Header.TTL > 1
+		var fraw []byte // next ring's bytes, encoded once on first use
+		for _, to := range frontier {
+			if c.seen[to] == epoch {
 				continue // duplicate suppression by GUID
 			}
 			// Per-hop faults: a dead peer never receives, and a lost copy
 			// is transmitted (already counted) but not delivered. Neither
 			// marks the peer seen, so a copy arriving over another overlay
 			// edge may still get through.
-			if !nw.faults.Alive(env.to) || nw.faults.MessageLoss(env.to) {
+			if dead(to) || (lossy && c.lost(plane, salt, to)) {
 				continue
 			}
-			seen[env.to] = true
-			m, _, err := gmsg.Decode(env.raw)
-			if err != nil {
-				return nil, fmt.Errorf("gnet: hop decode: %w", err)
-			}
+			c.seen[to] = epoch
 			res.PeersReached++
-			peer := nw.Peers[env.to]
-			if files := peer.Match(m.Query.Criteria); len(files) > 0 {
-				hit := Hit{PeerID: env.to, Hops: int(m.Header.Hops) + 1}
+			peer := nw.Peers[to]
+			var files []File
+			files, c.toks = peer.MatchTokens(toks, c.toks)
+			if len(files) > 0 {
+				hit := Hit{PeerID: int(to), Hops: hops, Files: make([]gmsg.Result, 0, len(files))}
 				for _, f := range files {
 					hit.Files = append(hit.Files, gmsg.Result{
 						FileIndex: f.Index, FileSize: f.Size, FileName: f.Name,
@@ -91,35 +191,70 @@ func (nw *Network) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 			}
 			// Forward if TTL remains; leaves don't forward in two-tier
 			// Gnutella (only ultrapeers relay).
-			if m.Header.TTL <= 1 {
+			if !forwards || (twoTier && !peer.Ultrapeer) {
 				continue
 			}
-			if nw.Config.UltrapeerFrac > 0 && !peer.Ultrapeer {
-				continue
-			}
-			fwd := *m
-			fwd.Header.TTL--
-			fwd.Header.Hops++
-			fraw, err := gmsg.Encode(&fwd)
-			if err != nil {
-				return nil, err
+			if fraw == nil {
+				fwd := *m
+				fwd.Header.TTL--
+				fwd.Header.Hops++
+				if fraw, err = gmsg.Encode(&fwd); err != nil {
+					return nil, err
+				}
 			}
 			for _, nb := range peer.Neighbors {
-				if seen[nb] {
+				if c.seen[nb] == epoch {
 					continue
 				}
 				// Last-hop QRP filtering: do not waste a message on a
 				// leaf whose route table cannot match.
-				if !nw.qrpAllows(nb, criteria) {
+				if !nw.qrpAllowsHoisted(nb, hoist) {
 					continue
 				}
-				next = append(next, envelope{to: nb, raw: fraw})
+				next = append(next, int32(nb))
 				res.Messages++
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier[:0]
+		raw = fraw
 	}
 	return res, nil
+}
+
+// Flood is the context-free convenience form: it builds a fresh FloodCtx
+// per call, so it is safe for concurrent use but pays the context
+// allocation. Hot paths (benchmarks, the parallel trial engine) should
+// hold a FloodCtx per worker instead.
+func (nw *Network) Flood(origin int, criteria string, ttl int, r *rng.Source) (*FloodResult, error) {
+	return nw.NewFloodCtx().Flood(origin, criteria, ttl, r)
+}
+
+// qrpHoist is the per-flood QRP forwarding decision: inactive when QRP is
+// off or the query is a browse (always forward); otherwise the criteria's
+// pre-hashed slots (nil for a keywordless query, which no table matches).
+type qrpHoist struct {
+	active bool
+	hashes []uint32
+}
+
+// hoistQRP computes the flood-wide QRP state for a query.
+func (nw *Network) hoistQRP(criteria string) qrpHoist {
+	if nw.qrpTables == nil || criteria == BrowseCriteria {
+		return qrpHoist{}
+	}
+	return qrpHoist{active: true, hashes: qrp.QueryHashes(criteria, nw.qrpBits)}
+}
+
+// qrpAllowsHoisted is qrpAllows with the query hash pre-computed.
+func (nw *Network) qrpAllowsHoisted(id int, h qrpHoist) bool {
+	if !h.active {
+		return true
+	}
+	t := nw.qrpTables[id]
+	if t == nil {
+		return true
+	}
+	return t.ContainsAll(h.hashes)
 }
 
 // Reach returns how many peers a TTL-limited flood from origin would

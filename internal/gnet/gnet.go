@@ -13,6 +13,7 @@ package gnet
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"querycentric/internal/catalog"
 	"querycentric/internal/faults"
@@ -50,8 +51,10 @@ type Peer struct {
 	Library   []File
 
 	// termIndex maps a token to the library indices of files containing it;
-	// built lazily by buildIndex.
+	// built lazily (and concurrency-safely, since parallel floods may race
+	// to the first Match) by buildIndex under indexOnce.
 	termIndex map[string][]int32
+	indexOnce sync.Once
 }
 
 // Config shapes the overlay topology.
@@ -86,8 +89,10 @@ type Network struct {
 	firewalled []bool
 
 	// qrpTables[p] is leaf p's query-route table, held by its ultrapeers;
-	// nil while QRP is disabled.
+	// nil while QRP is disabled. qrpBits is the table width, recorded so
+	// floods can hash a query's criteria once instead of per edge.
 	qrpTables []*qrp.Table
+	qrpBits   uint
 
 	// faults is the injection plane consulted by Dial, servent sessions
 	// and Flood; nil injects nothing (see SetFaults).
@@ -119,6 +124,7 @@ func (nw *Network) EnableQRP(bits uint) error {
 		tables[p.ID] = back
 	}
 	nw.qrpTables = tables
+	nw.qrpBits = bits
 	return nil
 }
 
@@ -127,14 +133,10 @@ func (nw *Network) DisableQRP() { nw.qrpTables = nil }
 
 // qrpAllows reports whether a query may be forwarded to peer id under the
 // current routing tables (always true when QRP is off or id is not a leaf).
+// Floods hoist the hash half of this test out of the per-edge loop; see
+// hoistQRP in flood.go.
 func (nw *Network) qrpAllows(id int, criteria string) bool {
-	if nw.qrpTables == nil || nw.qrpTables[id] == nil {
-		return true
-	}
-	if criteria == BrowseCriteria {
-		return true
-	}
-	return nw.qrpTables[id].MatchesQuery(criteria)
+	return nw.qrpAllowsHoisted(id, nw.hoistQRP(criteria))
 }
 
 // New builds a network of n peers with empty libraries.
@@ -312,18 +314,20 @@ func (p *Peer) buildIndex() {
 
 // Match returns the library files matching the query criteria under the
 // Gnutella keyword rule (every query token must appear in the file name).
-// It intersects the peer's posting lists directly — rarest token first, so
-// the candidate set never grows — instead of re-tokenizing candidate file
-// names per query token; this sits on the flood hot path.
 func (p *Peer) Match(criteria string) []File {
-	if p.termIndex == nil {
-		p.buildIndex()
-	}
+	return p.matchTokens(TokenizeQuery(criteria))
+}
+
+// TokenizeQuery returns the deduped keyword list Match intersects, in
+// first-appearance order. Hoist it out of any loop that matches one query
+// against many peers (a flood matches every reached peer) and hand the
+// result to MatchTokens.
+func TokenizeQuery(criteria string) []string {
 	toks := terms.Tokenize(criteria)
-	if len(toks) == 0 {
-		return nil
+	if len(toks) < 2 {
+		return toks
 	}
-	// Dedupe (queries repeat terms) and order rarest-first.
+	// Dedupe (queries repeat terms); first appearance wins.
 	uniq := toks[:0]
 	seen := make(map[string]struct{}, len(toks))
 	for _, t := range toks {
@@ -332,11 +336,32 @@ func (p *Peer) Match(criteria string) []File {
 			uniq = append(uniq, t)
 		}
 	}
-	sort.Slice(uniq, func(i, j int) bool {
-		return len(p.termIndex[uniq[i]]) < len(p.termIndex[uniq[j]])
+	return uniq
+}
+
+// MatchTokens is Match with tokenization hoisted out: toks must come from
+// TokenizeQuery. The tokens are copied into scratch (grown as needed and
+// returned for reuse) before the rarest-first reorder, so one token list
+// can serve every peer of a flood.
+func (p *Peer) MatchTokens(toks, scratch []string) ([]File, []string) {
+	scratch = append(scratch[:0], toks...)
+	return p.matchTokens(scratch), scratch
+}
+
+// matchTokens intersects the peer's posting lists directly — rarest token
+// first, so the candidate set never grows — instead of re-tokenizing
+// candidate file names per query token; this sits on the flood hot path.
+// It reorders toks in place.
+func (p *Peer) matchTokens(toks []string) []File {
+	p.indexOnce.Do(p.buildIndex)
+	if len(toks) == 0 {
+		return nil
+	}
+	sort.Slice(toks, func(i, j int) bool {
+		return len(p.termIndex[toks[i]]) < len(p.termIndex[toks[j]])
 	})
-	cur := p.termIndex[uniq[0]]
-	for _, tok := range uniq[1:] {
+	cur := p.termIndex[toks[0]]
+	for _, tok := range toks[1:] {
 		if len(cur) == 0 {
 			return nil
 		}

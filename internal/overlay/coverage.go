@@ -3,6 +3,7 @@ package overlay
 import (
 	"fmt"
 
+	"querycentric/internal/parallel"
 	"querycentric/internal/rng"
 )
 
@@ -85,21 +86,41 @@ func (g *Graph) bfsInto(origin, ttl int, mark []int32, epoch int32, out []int32)
 // CoverageStats reports the mean fraction of the network processed by
 // floods at each TTL in 1..maxTTL, averaged over sample random origins —
 // the quantity behind the paper's "TTL 1..5 reach 0.05%...82.95%" table.
+// It is CoverageStatsN on one worker.
 func CoverageStats(g *Graph, maxTTL, samples int, seed uint64) ([]float64, error) {
+	return CoverageStatsN(g, maxTTL, samples, seed, 1)
+}
+
+// CoverageStatsN is CoverageStats fanned out over a bounded worker pool.
+// Sample i draws its origin from the derived stream "sample/i" and each
+// worker floods through its own Coverage engine; per-sample fractions are
+// summed in sample order, so the result is byte-identical for every
+// workers value.
+func CoverageStatsN(g *Graph, maxTTL, samples int, seed uint64, workers int) ([]float64, error) {
 	if maxTTL < 1 {
 		return nil, fmt.Errorf("overlay: maxTTL must be positive, got %d", maxTTL)
 	}
 	if samples < 1 {
 		return nil, fmt.Errorf("overlay: samples must be positive, got %d", samples)
 	}
-	r := rng.NewNamed(seed, "overlay/coverage")
-	cov := NewCoverage(g)
+	base := rng.NewNamed(seed, "overlay/coverage")
+	perSample, err := parallel.MapWith(workers, samples,
+		func() *Coverage { return NewCoverage(g) },
+		func(cov *Coverage, i int) ([]float64, error) {
+			origin := base.Derive(fmt.Sprintf("sample/%d", i)).Intn(g.N())
+			fracs := make([]float64, maxTTL)
+			for ttl := 1; ttl <= maxTTL; ttl++ {
+				fracs[ttl-1] = float64(len(cov.Reached(origin, ttl))) / float64(g.N())
+			}
+			return fracs, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	sums := make([]float64, maxTTL)
-	for s := 0; s < samples; s++ {
-		origin := r.Intn(g.N())
-		for ttl := 1; ttl <= maxTTL; ttl++ {
-			reached := cov.Reached(origin, ttl)
-			sums[ttl-1] += float64(len(reached)) / float64(g.N())
+	for _, fracs := range perSample { // sample order: bit-identical floats
+		for i, f := range fracs {
+			sums[i] += f
 		}
 	}
 	for i := range sums {
@@ -110,45 +131,72 @@ func CoverageStats(g *Graph, maxTTL, samples int, seed uint64) ([]float64, error
 
 // MeanQueryHops estimates the mean number of hops a query takes to reach a
 // processed peer under a TTL-bounded flood (the paper cites 2.47 hops mean
-// for queries observed in 2006).
+// for queries observed in 2006). It is MeanQueryHopsN on one worker.
 func MeanQueryHops(g *Graph, ttl, samples int, seed uint64) (float64, error) {
+	return MeanQueryHopsN(g, ttl, samples, seed, 1)
+}
+
+// hopScratch is the per-worker state of a MeanQueryHopsN sample: an
+// epoch-stamped visited array plus reusable level buffers.
+type hopScratch struct {
+	mark        []int32
+	epoch       int32
+	level, next []int32
+}
+
+// MeanQueryHopsN is MeanQueryHops fanned out over a bounded worker pool.
+// Sample i draws its origin from the derived stream "sample/i"; the
+// per-sample (hops, peers) tallies are summed in sample order, so the
+// result is byte-identical for every workers value.
+func MeanQueryHopsN(g *Graph, ttl, samples int, seed uint64, workers int) (float64, error) {
 	if ttl < 1 || samples < 1 {
 		return 0, fmt.Errorf("overlay: invalid ttl %d or samples %d", ttl, samples)
 	}
-	r := rng.NewNamed(seed, "overlay/hops")
-	var totalHops, totalPeers float64
-	// BFS by levels, weighting each level by its hop count.
-	mark := make([]int32, g.N())
-	for i := range mark {
-		mark[i] = -1
-	}
-	for s := int32(1); s <= int32(samples); s++ {
-		origin := r.Intn(g.N())
-		mark[origin] = s
-		level := []int32{}
-		for _, nb := range g.adj[origin] {
-			level = append(level, nb)
-		}
-		for hop := 1; hop <= ttl && len(level) > 0; hop++ {
-			var next []int32
-			for _, v := range level {
-				if mark[v] == s {
-					continue
-				}
-				mark[v] = s
-				totalHops += float64(hop)
-				totalPeers++
-				if hop == ttl || !g.Ultra(int(v)) {
-					continue
-				}
-				for _, nb := range g.adj[v] {
-					if mark[nb] != s {
-						next = append(next, nb)
+	base := rng.NewNamed(seed, "overlay/hops")
+	type tally struct{ hops, peers float64 }
+	perSample, err := parallel.MapWith(workers, samples,
+		func() *hopScratch { return &hopScratch{mark: make([]int32, g.N())} },
+		func(sc *hopScratch, i int) (tally, error) {
+			origin := base.Derive(fmt.Sprintf("sample/%d", i)).Intn(g.N())
+			sc.epoch++
+			s := sc.epoch
+			var t tally
+			// BFS by levels, weighting each level by its hop count.
+			sc.mark[origin] = s
+			level, next := sc.level[:0], sc.next[:0]
+			defer func() { sc.level, sc.next = level[:0], next[:0] }()
+			for _, nb := range g.adj[origin] {
+				level = append(level, nb)
+			}
+			for hop := 1; hop <= ttl && len(level) > 0; hop++ {
+				next = next[:0]
+				for _, v := range level {
+					if sc.mark[v] == s {
+						continue
+					}
+					sc.mark[v] = s
+					t.hops += float64(hop)
+					t.peers++
+					if hop == ttl || !g.Ultra(int(v)) {
+						continue
+					}
+					for _, nb := range g.adj[v] {
+						if sc.mark[nb] != s {
+							next = append(next, nb)
+						}
 					}
 				}
+				level, next = next, level
 			}
-			level = next
-		}
+			return t, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	var totalHops, totalPeers float64
+	for _, t := range perSample {
+		totalHops += t.hops
+		totalPeers += t.peers
 	}
 	if totalPeers == 0 {
 		return 0, fmt.Errorf("overlay: floods reached no peers")

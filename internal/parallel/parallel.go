@@ -1,0 +1,126 @@
+// Package parallel is the deterministic trial engine: a bounded worker
+// pool that fans independent, index-addressed units of work (simulation
+// trials, flood probes, coverage samples) across goroutines and merges
+// their results in index order.
+//
+// Determinism contract: a unit of work may depend only on its index — its
+// randomness must come from a per-index stream (rng.Source.Derive of
+// "trial/<i>" from a fixed parent), its inputs must be read-only shared
+// state, and its mutable scratch must be worker-local. Under that
+// contract the merged results are byte-identical for every worker count
+// and every scheduling, so experiments can default to GOMAXPROCS workers
+// without perturbing published numbers. Reductions that follow a Map must
+// walk the result slice in index order; integer sums are order-free but
+// floating-point sums are not.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values above zero are taken
+// as-is, anything else means "one worker per available CPU" (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in index order. A workers value ≤ 0 resolves via
+// Workers. If any call fails, Map returns the error of the lowest failing
+// index (so the reported error, like the results, is schedule-invariant);
+// the remaining indices may or may not have run.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWith(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// ForEach is Map for side-effect-only work: fn typically writes to its own
+// index of a caller-owned slice.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// MapWith is Map with per-worker scratch: newScratch runs once per worker
+// goroutine (not per index) and its value is threaded into every fn call
+// that worker executes. Use it for reusable state that is expensive to
+// allocate per trial and unsafe to share — flood contexts, search
+// scratch, encode buffers.
+func MapWith[S, T any](workers, n int, newScratch func() S, fn func(scratch S, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		// Inline fast path: no goroutines, no atomics. Byte-identical to
+		// the fanned-out path by the determinism contract.
+		scratch := newScratch()
+		for i := 0; i < n; i++ {
+			v, err := fn(scratch, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed index
+		failed atomic.Int64 // lowest failing index + 1 (0 = none)
+		errs   sync.Map     // index → error
+		wg     sync.WaitGroup
+	)
+	failed.Store(int64(n) + 1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) >= failed.Load() {
+					return
+				}
+				v, err := fn(scratch, i)
+				if err != nil {
+					errs.Store(i, err)
+					// Keep the lowest failing index so the returned error
+					// does not depend on scheduling among racing failures
+					// (later indices may still fail first in wall-clock).
+					for {
+						cur := failed.Load()
+						if int64(i)+1 >= cur || failed.CompareAndSwap(cur, int64(i)+1) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failed.Load(); f <= int64(n) {
+		// Workers race past the failure marker, so an index below the
+		// marker may have failed after the marker was set; report the
+		// lowest error actually recorded.
+		for i := 0; i < n; i++ {
+			if err, ok := errs.Load(i); ok {
+				return nil, err.(error)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"querycentric/internal/rng"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+// TestMapWorkerCountInvariance is the package-level determinism contract:
+// per-index derived randomness merged in index order must be byte-identical
+// for every worker count.
+func TestMapWorkerCountInvariance(t *testing.T) {
+	base := rng.NewNamed(42, "parallel/test")
+	run := func(workers int) []uint64 {
+		out, err := Map(workers, 500, func(i int) (uint64, error) {
+			r := base.Derive(fmt.Sprintf("trial/%d", i))
+			// Draw a varying number of values to stress independence.
+			v := r.Uint64()
+			for k := 0; k < i%5; k++ {
+				v ^= r.Uint64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8, 33} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from sequential", workers)
+		}
+	}
+}
+
+func TestMapLowestErrorWins(t *testing.T) {
+	sentinel := func(i int) error { return fmt.Errorf("fail-%d", i) }
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(workers, 200, func(i int) (int, error) {
+			if i%7 == 3 { // lowest failing index is 3
+				return 0, sentinel(i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("workers=%d: error = %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestMapWithScratchPerWorker(t *testing.T) {
+	var created atomic.Int32
+	type scratch struct{ id int32 }
+	out, err := MapWith(4, 1000, func() *scratch {
+		return &scratch{id: created.Add(1)}
+	}, func(s *scratch, i int) (int32, error) {
+		return s.id, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := created.Load(); c < 1 || c > 4 {
+		t.Fatalf("created %d scratches for 4 workers", c)
+	}
+	for i, v := range out {
+		if v < 1 || v > created.Load() {
+			t.Fatalf("out[%d] ran with unknown scratch %d", i, v)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	buf := make([]int, 64)
+	if err := ForEach(8, len(buf), func(i int) error {
+		buf[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != i+1 {
+			t.Fatalf("buf[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestParallelEngineRace hammers the pool from parallel subtests so the
+// race detector exercises concurrent Map/MapWith instances sharing one
+// parent rng (read-only via Derive) and shared read-only inputs.
+func TestParallelEngineRace(t *testing.T) {
+	shared := make([]uint64, 4096)
+	base := rng.NewNamed(7, "parallel/race")
+	fill := rng.NewNamed(8, "parallel/race-fill")
+	for i := range shared {
+		shared[i] = fill.Uint64()
+	}
+	for sub := 0; sub < 8; sub++ {
+		t.Run(fmt.Sprintf("hammer-%d", sub), func(t *testing.T) {
+			t.Parallel()
+			want, err := Map(1, 256, raceTrial(base, shared))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 4; round++ {
+				got, err := MapWith(8, 256, func() []uint64 {
+					return make([]uint64, 32) // worker-local scratch
+				}, func(scr []uint64, i int) (uint64, error) {
+					trial := raceTrial(base, shared)
+					v, err := trial(i)
+					scr[i%len(scr)] = v
+					return v, err
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatal("parallel run diverged under contention")
+				}
+			}
+		})
+	}
+}
+
+// raceTrial is one deterministic unit of work over shared read-only state.
+func raceTrial(base *rng.Source, shared []uint64) func(i int) (uint64, error) {
+	return func(i int) (uint64, error) {
+		r := base.Derive(fmt.Sprintf("trial/%d", i))
+		acc := uint64(0)
+		for k := 0; k < 64; k++ {
+			acc ^= shared[r.Intn(len(shared))]
+		}
+		return acc, nil
+	}
+}

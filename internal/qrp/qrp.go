@@ -85,12 +85,36 @@ func (t *Table) contains(word string) bool {
 // MatchesQuery reports whether every keyword of the query hits the table —
 // the ultrapeer's forwarding test. Queries without keywords match nothing.
 func (t *Table) MatchesQuery(query string) bool {
+	return t.ContainsAll(QueryHashes(query, t.bits))
+}
+
+// QueryHashes tokenizes a query once and returns the slot index of every
+// keyword. Floods hoist this out of the per-edge forwarding test: the hash
+// of the criteria is the same for every candidate leaf, so one flood
+// computes it once instead of once per (ultrapeer, leaf) edge. An empty
+// result means the query has no keywords and can match no table.
+func QueryHashes(query string, bits uint) []uint32 {
 	toks := terms.Tokenize(query)
 	if len(toks) == 0 {
+		return nil
+	}
+	hs := make([]uint32, len(toks))
+	for i, tok := range toks {
+		hs[i] = Hash(tok, bits)
+	}
+	return hs
+}
+
+// ContainsAll reports whether every pre-hashed slot in hs is set — the
+// MatchesQuery decision against hashes from QueryHashes with this table's
+// bit width. An empty hs matches nothing, mirroring MatchesQuery on a
+// keyword-free query.
+func (t *Table) ContainsAll(hs []uint32) bool {
+	if len(hs) == 0 {
 		return false
 	}
-	for _, tok := range toks {
-		if !t.contains(tok) {
+	for _, h := range hs {
+		if t.slots[h/64]&(1<<(h%64)) == 0 {
 			return false
 		}
 	}

@@ -55,6 +55,25 @@ func TestNoFalseNegatives(t *testing.T) {
 	}
 }
 
+func TestQueryHashesEquivalentToMatchesQuery(t *testing.T) {
+	tab, _ := NewTable(12)
+	tab.AddName("Aaron Neville - I Don't Know Much.mp3")
+	tab.AddName("Linda Ronstadt - Blue Bayou.mp3")
+	queries := []string{
+		"aaron neville", "blue bayou", "mp3", "aaron ronstadt",
+		"zzz unknown", "", "---", "NEVILLE",
+	}
+	for _, q := range queries {
+		hoisted := tab.ContainsAll(QueryHashes(q, tab.Bits()))
+		if direct := tab.MatchesQuery(q); hoisted != direct {
+			t.Errorf("query %q: hoisted=%v direct=%v", q, hoisted, direct)
+		}
+	}
+	if QueryHashes("", 12) != nil || QueryHashes("---", 12) != nil {
+		t.Error("keywordless query produced hashes")
+	}
+}
+
 func TestConjunctiveReject(t *testing.T) {
 	tab, _ := NewTable(16)
 	tab.AddName("Aaron Neville - Bayou.mp3")

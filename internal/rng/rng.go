@@ -53,6 +53,20 @@ func (s *Source) Fork() *Source {
 	return &cp
 }
 
+// Derive returns the child Source that Split(name) would return, without
+// advancing the parent. Because the parent's state is untouched, deriving
+// "trial/0" … "trial/n" from one Source is order-independent: any subset,
+// in any order, from any goroutine, yields the same children. This is the
+// primitive the parallel trial engine builds on — each trial's stream
+// depends only on (parent state, trial name), never on scheduling.
+//
+// The parent must not be advanced concurrently with Derive calls; the
+// engines that fan trials out hold the parent fixed for the duration.
+func (s *Source) Derive(name string) *Source {
+	cp := *s
+	return cp.Split(name)
+}
+
 // Uint64 returns the next 64 pseudo-random bits (SplitMix64).
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -40,6 +40,30 @@ func TestNamedStreamStable(t *testing.T) {
 	}
 }
 
+func TestDeriveMatchesSplitWithoutAdvancing(t *testing.T) {
+	a := NewNamed(9, "derive")
+	b := NewNamed(9, "derive")
+	// Derive must hand out exactly Split's child...
+	da := a.Derive("trial/3")
+	sb := b.Split("trial/3")
+	for i := 0; i < 8; i++ {
+		if da.Uint64() != sb.Uint64() {
+			t.Fatal("Derive child diverged from Split child")
+		}
+	}
+	// ...without moving the parent: a is still at its initial state while
+	// b advanced one step, and derivation order must not matter.
+	x := a.Derive("trial/7").Uint64()
+	_ = a.Derive("trial/8")
+	y := NewNamed(9, "derive").Derive("trial/7").Uint64()
+	if x != y {
+		t.Fatal("Derive advanced the parent or is order-dependent")
+	}
+	if a.Uint64() != NewNamed(9, "derive").Uint64() {
+		t.Fatal("Derive consumed parent state")
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	parent := New(3)
 	child := parent.Split("child")

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"querycentric/internal/overlay"
+	"querycentric/internal/parallel"
 	"querycentric/internal/rng"
 	"querycentric/internal/zipf"
 )
@@ -108,12 +109,25 @@ type Result struct {
 	Results  int // replica holders encountered (the hybrid rare-query rule counts these)
 }
 
-// Engine runs searches for one (graph, placement) pair.
+// Engine holds the immutable state of one (graph, placement) pair. Its
+// search methods delegate to a default Searcher, so a single-goroutine
+// caller can use the Engine directly; parallel trial loops give each worker
+// its own Searcher via NewSearcher.
 type Engine struct {
 	g     *overlay.Graph
 	place *Placement
-	mark  []int32
-	epoch int32
+	def   *Searcher
+}
+
+// Searcher carries the per-goroutine scratch of one search worker:
+// epoch-stamped visited and holder marks, so no per-search map or clearing
+// pass is needed. A Searcher must not be shared between goroutines; the
+// Engine it was built from is read-only and may be shared freely.
+type Searcher struct {
+	e          *Engine
+	mark       []int32 // visited stamp
+	holderMark []int32 // current object's holders stamp
+	epoch      int32
 }
 
 // NewEngine builds a search engine. The placement must cover the graph's
@@ -122,38 +136,66 @@ func NewEngine(g *overlay.Graph, p *Placement) (*Engine, error) {
 	if p.Nodes != g.N() {
 		return nil, fmt.Errorf("search: placement for %d nodes, graph has %d", p.Nodes, g.N())
 	}
-	mark := make([]int32, g.N())
-	for i := range mark {
-		mark[i] = -1
-	}
-	return &Engine{g: g, place: p, mark: mark}, nil
+	e := &Engine{g: g, place: p}
+	e.def = e.NewSearcher()
+	return e, nil
+}
+
+// NewSearcher returns a fresh search worker over this engine's graph and
+// placement.
+func (e *Engine) NewSearcher() *Searcher {
+	n := e.g.N()
+	return &Searcher{e: e, mark: make([]int32, n), holderMark: make([]int32, n)}
 }
 
 // GraphN returns the number of nodes in the engine's graph.
 func (e *Engine) GraphN() int { return e.g.N() }
 
-// holderSet builds a quick-lookup set for an object's holders.
-func (e *Engine) holderSet(obj int) map[int32]struct{} {
-	hs := e.place.Holders[obj]
-	set := make(map[int32]struct{}, len(hs))
-	for _, h := range hs {
-		set[h] = struct{}{}
+// Flood, ExpandingRing and RandomWalk on the Engine use its default
+// searcher (single-goroutine convenience).
+func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
+	return e.def.Flood(origin, obj, ttl)
+}
+
+func (e *Engine) ExpandingRing(origin, obj, maxTTL int) (Result, error) {
+	return e.def.ExpandingRing(origin, obj, maxTTL)
+}
+
+func (e *Engine) RandomWalk(origin, obj, walkers, maxSteps int, r *rng.Source) (Result, error) {
+	return e.def.RandomWalk(origin, obj, walkers, maxSteps, r)
+}
+
+// begin opens a new search epoch and stamps obj's holders, replacing the
+// per-search holder map of the naive implementation with an O(replicas)
+// stamping pass over a reused array.
+func (s *Searcher) begin(obj int) int32 {
+	s.epoch++
+	if s.epoch == 1<<31-1 {
+		for i := range s.mark {
+			s.mark[i] = 0
+			s.holderMark[i] = 0
+		}
+		s.epoch = 1
 	}
-	return set
+	for _, h := range s.e.place.Holders[obj] {
+		s.holderMark[h] = s.epoch
+	}
+	return s.epoch
 }
 
 // Flood performs a TTL-bounded flood from origin for object obj. The origin
 // holding the object counts as an immediate hit at hop 0.
-func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
+func (s *Searcher) Flood(origin, obj, ttl int) (Result, error) {
+	e := s.e
 	if err := e.check(origin, obj); err != nil {
 		return Result{}, err
 	}
 	if ttl < 1 {
 		return Result{}, fmt.Errorf("search: TTL must be at least 1, got %d", ttl)
 	}
-	holders := e.holderSet(obj)
+	epoch := s.begin(obj)
 	res := Result{}
-	if _, ok := holders[int32(origin)]; ok {
+	if s.holderMark[origin] == epoch {
 		res.Found = true
 		res.Results = 1
 		// The origin's own copy counts, but the flood still goes out (a
@@ -161,8 +203,7 @@ func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
 		// measurement we report the immediate hit).
 		return res, nil
 	}
-	e.epoch++
-	e.mark[origin] = e.epoch
+	s.mark[origin] = epoch
 	frontier := make([]int32, 0, len(e.g.Neighbors(origin)))
 	for _, nb := range e.g.Neighbors(origin) {
 		frontier = append(frontier, nb)
@@ -173,12 +214,12 @@ func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
 	for hop := 1; hop <= ttl && len(frontier) > 0; hop++ {
 		next = next[:0]
 		for _, v := range frontier {
-			if e.mark[v] == e.epoch {
+			if s.mark[v] == epoch {
 				continue
 			}
-			e.mark[v] = e.epoch
+			s.mark[v] = epoch
 			res.Peers++
-			if _, ok := holders[v]; ok {
+			if s.holderMark[v] == epoch {
 				res.Results++
 				if !found {
 					found = true
@@ -192,7 +233,7 @@ func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
 				continue
 			}
 			for _, nb := range e.g.Neighbors(int(v)) {
-				if e.mark[nb] != e.epoch {
+				if s.mark[nb] != epoch {
 					next = append(next, nb)
 					res.Messages++
 				}
@@ -205,13 +246,13 @@ func (e *Engine) Flood(origin, obj, ttl int) (Result, error) {
 
 // ExpandingRing floods with TTL 1, 2, ... maxTTL until the object is found,
 // accumulating cost across rings (the classic flooding-cost reduction).
-func (e *Engine) ExpandingRing(origin, obj, maxTTL int) (Result, error) {
+func (s *Searcher) ExpandingRing(origin, obj, maxTTL int) (Result, error) {
 	if maxTTL < 1 {
 		return Result{}, fmt.Errorf("search: maxTTL must be at least 1, got %d", maxTTL)
 	}
 	total := Result{}
 	for ttl := 1; ttl <= maxTTL; ttl++ {
-		res, err := e.Flood(origin, obj, ttl)
+		res, err := s.Flood(origin, obj, ttl)
 		if err != nil {
 			return Result{}, err
 		}
@@ -229,19 +270,19 @@ func (e *Engine) ExpandingRing(origin, obj, maxTTL int) (Result, error) {
 // RandomWalk launches walkers concurrent random walks of at most maxSteps
 // steps each (Lv et al. style). Walkers check every visited node for the
 // object; success is any walker finding a replica.
-func (e *Engine) RandomWalk(origin, obj, walkers, maxSteps int, r *rng.Source) (Result, error) {
+func (s *Searcher) RandomWalk(origin, obj, walkers, maxSteps int, r *rng.Source) (Result, error) {
+	e := s.e
 	if err := e.check(origin, obj); err != nil {
 		return Result{}, err
 	}
 	if walkers < 1 || maxSteps < 1 {
 		return Result{}, fmt.Errorf("search: walkers and maxSteps must be positive")
 	}
-	holders := e.holderSet(obj)
-	if _, ok := holders[int32(origin)]; ok {
+	epoch := s.begin(obj)
+	if s.holderMark[origin] == epoch {
 		return Result{Found: true, Hops: 0}, nil
 	}
-	e.epoch++
-	e.mark[origin] = e.epoch
+	s.mark[origin] = epoch
 	res := Result{}
 	for w := 0; w < walkers; w++ {
 		cur := int32(origin)
@@ -252,11 +293,11 @@ func (e *Engine) RandomWalk(origin, obj, walkers, maxSteps int, r *rng.Source) (
 			}
 			cur = nbs[r.Intn(len(nbs))]
 			res.Messages++
-			if e.mark[cur] != e.epoch {
-				e.mark[cur] = e.epoch
+			if s.mark[cur] != epoch {
+				s.mark[cur] = epoch
 				res.Peers++
 			}
-			if _, ok := holders[cur]; ok {
+			if s.holderMark[cur] == epoch {
 				if !res.Found || step < res.Hops {
 					res.Found = true
 					res.Hops = step
@@ -280,21 +321,38 @@ func (e *Engine) check(origin, obj int) error {
 
 // SuccessRate measures the fraction of trials in which a flood at the given
 // TTL finds the target, with targets chosen by pick (e.g. uniform over
-// objects, or popularity-weighted) and origins uniform at random.
+// objects, or popularity-weighted) and origins uniform at random. It is
+// SuccessRateN on one worker: trial i draws from the derived stream
+// "trial/i", so the measured rate is identical at any worker count.
 func (e *Engine) SuccessRate(ttl, trials int, pick func(r *rng.Source) int, seed uint64) (float64, error) {
+	return e.SuccessRateN(ttl, trials, pick, seed, 1)
+}
+
+// SuccessRateN is SuccessRate fanned out over a bounded worker pool. Each
+// trial derives its own RNG stream from the seed by trial index and each
+// worker floods through its own Searcher, so the result is byte-identical
+// for every workers value (hits are summed in trial order). pick must be
+// safe for concurrent calls (pure functions of r are).
+func (e *Engine) SuccessRateN(ttl, trials int, pick func(r *rng.Source) int, seed uint64, workers int) (float64, error) {
 	if trials < 1 {
 		return 0, fmt.Errorf("search: trials must be positive")
 	}
-	r := rng.NewNamed(seed, "search/success")
+	base := rng.NewNamed(seed, "search/success")
+	found, err := parallel.MapWith(workers, trials,
+		func() *Searcher { return e.NewSearcher() },
+		func(s *Searcher, i int) (bool, error) {
+			r := base.Derive(fmt.Sprintf("trial/%d", i))
+			origin := r.Intn(e.g.N())
+			obj := pick(r)
+			res, err := s.Flood(origin, obj, ttl)
+			return res.Found, err
+		})
+	if err != nil {
+		return 0, err
+	}
 	hits := 0
-	for i := 0; i < trials; i++ {
-		origin := r.Intn(e.g.N())
-		obj := pick(r)
-		res, err := e.Flood(origin, obj, ttl)
-		if err != nil {
-			return 0, err
-		}
-		if res.Found {
+	for _, f := range found {
+		if f {
 			hits++
 		}
 	}
