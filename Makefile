@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism bench ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench ci check clean
 
 build:
 	$(GO) build ./...
@@ -19,17 +19,25 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-# Byte-identical results at 1 vs 8 workers across the experiment runners.
+# Byte-identical results at 1 vs 8 workers across the experiment runners,
+# including the ChurnRepair repair timeline (the golden determinism check
+# on overlay maintenance).
 determinism:
 	$(GO) test -race -run TestWorkerCountDoesNotChangeResults ./internal/experiments/
+
+# Short fuzz of the wire-message decoder: five seconds of mutation over the
+# seeded descriptor corpus must surface no panics or over-reads.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=5s -run '^$$' ./internal/gmsg
 
 # Flood hot-path and parallel-engine measurements -> BENCH_flood.json.
 bench:
 	$(GO) run ./cmd/qc-bench -o BENCH_flood.json -scale small
 
-# The CI gate: static checks, formatting, the full suite under the race
-# detector, and the workers=8 determinism regression.
-ci: vet fmt-check race determinism
+# The CI gate: static checks, formatting, a clean build, the full suite
+# under the race detector, the workers=8 determinism regression and the
+# decoder fuzz smoke.
+ci: vet fmt-check build race determinism fuzz-smoke
 
 check: ci
 

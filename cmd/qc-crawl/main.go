@@ -56,6 +56,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *workers < 0 {
+		fail(fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", *workers))
+	}
+	if *sweepDead < 0 || *sweepDead > 1 {
+		fail(fmt.Errorf("-dead must be in [0,1], got %g", *sweepDead))
+	}
+
 	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)

@@ -31,6 +31,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *workers < 0 {
+		fail(fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", *workers))
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}

@@ -9,6 +9,7 @@
 //	qc-sim -mode hybrid
 //	qc-sim -mode gia
 //	qc-sim -mode synopsis
+//	qc-sim -mode churn-repair -scale tiny
 package main
 
 import (
@@ -22,18 +23,27 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|walk|replication|synopsis|faults")
-		scaleName  = flag.String("scale", "default", "tiny|small|default|full")
-		seed       = flag.Uint64("seed", 42, "root random seed")
-		deadFrac   = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
-		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|walk|replication|synopsis|faults")
+		scaleName    = flag.String("scale", "default", "tiny|small|default|full")
+		seed         = flag.Uint64("seed", 42, "root random seed")
+		deadFrac     = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
+		workers      = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		pingInterval = flag.Int64("ping-interval", 0, "seconds between keepalive rounds in -mode churn-repair (0 = default)")
+		pingTimeout  = flag.Int("ping-timeout", 0, "silent rounds before a neighbor is declared dead in -mode churn-repair (0 = default)")
+		politeFrac   = flag.Float64("polite", -1, "fraction of departures announced with a Bye in -mode churn-repair (-1 = default)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
 	if err != nil {
 		fail(err)
+	}
+	if *workers < 0 {
+		fail(fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", *workers))
+	}
+	if *deadFrac < 0 || *deadFrac > 1 {
+		fail(fmt.Errorf("-dead must be in [0,1], got %g", *deadFrac))
 	}
 	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -110,6 +120,36 @@ func main() {
 		}
 		fmt.Printf("nodes\t%d\nmean_online\t%.3f\n", c.Nodes, c.MeanOnline)
 		fmt.Printf("uniform_success\t%.3f\nzipf_success\t%.3f\n", c.UniformSuccess, c.ZipfSuccess)
+	case "churn-repair":
+		cfg := qc.DefaultChurnRepairConfig(*seed)
+		if *pingInterval > 0 {
+			cfg.Repair.PingInterval = *pingInterval
+		}
+		if *pingTimeout > 0 {
+			cfg.Repair.PingTimeout = *pingTimeout
+		}
+		if *politeFrac >= 0 {
+			cfg.Timeline.PoliteFrac = *politeFrac
+		}
+		c, err := qc.ChurnRepairWith(env, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# churn repair: %d peers, %d churn events, TTL %d\n", c.Peers, c.Events, c.TTL)
+		fmt.Printf("# static_success\t%.4f\n", c.StaticSuccess)
+		fmt.Println("# time\tonline\tdeg_norepair\tsucc_norepair\tdeg_repair\tsucc_repair")
+		for i := range c.NoRepair {
+			nr, rp := c.NoRepair[i], c.Repair[i]
+			fmt.Printf("%d\t%.3f\t%.2f\t%.4f\t%.2f\t%.4f\n",
+				nr.Time, nr.OnlineFrac, nr.MeanDegree, nr.Success, rp.MeanDegree, rp.Success)
+		}
+		fmt.Printf("norepair_mean\t%.4f\nrepair_mean\t%.4f\nrecovered_frac\t%.3f\n",
+			c.NoRepairMean, c.RepairMean, c.RecoveredFrac)
+		st := c.RepairStats
+		fmt.Fprintf(os.Stderr,
+			"churn-repair: detected %d failures, %d byes, repaired %d/%d dials (pings %d, lost %d)\n",
+			st.FailuresDetected, st.ByesReceived, st.RepairSuccesses, st.RepairAttempts,
+			st.PingsSent, st.PingsLost)
 	case "walk":
 		w, err := qc.WalkVsFlood(env)
 		if err != nil {

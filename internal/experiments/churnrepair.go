@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/churn"
+	"querycentric/internal/gnet"
+	"querycentric/internal/parallel"
+	"querycentric/internal/rng"
+)
+
+// ChurnRepair measures what overlay maintenance buys under session churn.
+// One generated churn timeline (arrivals, polite departures, crashes)
+// drives real topology mutation twice over the same population: once with
+// no maintenance protocol — polite leavers erode the overlay, crashes
+// leave ghost edges — and once with the full self-healing stack
+// (ping/pong failure detection plus host-cache repair). TTL-bounded
+// known-item floods sample search success over time; the static fault-free
+// network anchors the comparison.
+
+// ChurnRepairConfig tunes the experiment.
+type ChurnRepairConfig struct {
+	// Timeline shapes the session process the overlay endures.
+	Timeline churn.TimelineConfig
+	// Repair shapes the maintenance loop. Its Repair flag is overridden
+	// per scenario.
+	Repair gnet.RepairConfig
+	// SampleEvery is the measurement period in seconds.
+	SampleEvery int64
+	// TTL bounds the measurement floods.
+	TTL int
+	// QueriesPerSample is the flood count per measurement point (0 scales
+	// with the environment's SimTrials).
+	QueriesPerSample int
+}
+
+// DefaultChurnRepairConfig measures two simulated hours of churn with
+// one-minute ping rounds and ten-minute samples.
+func DefaultChurnRepairConfig(seed uint64) ChurnRepairConfig {
+	tl := churn.DefaultTimelineConfig(seed)
+	tl.Duration = 2 * 3600
+	rp := gnet.DefaultRepairConfig(seed)
+	rp.PingInterval = 60
+	return ChurnRepairConfig{
+		Timeline:    tl,
+		Repair:      rp,
+		SampleEvery: 600,
+		TTL:         3,
+	}
+}
+
+// Validate rejects schedules that cannot make progress.
+func (c ChurnRepairConfig) Validate() error {
+	if err := c.Timeline.Validate(); err != nil {
+		return err
+	}
+	if err := c.Repair.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.SampleEvery <= 0:
+		return fmt.Errorf("experiments: churn-repair SampleEvery must be positive, got %d", c.SampleEvery)
+	case c.TTL < 1:
+		return fmt.Errorf("experiments: churn-repair TTL must be at least 1, got %d", c.TTL)
+	case c.QueriesPerSample < 0:
+		return fmt.Errorf("experiments: churn-repair QueriesPerSample must be non-negative, got %d", c.QueriesPerSample)
+	}
+	return nil
+}
+
+// ChurnRepairSample is one measurement point of one scenario.
+type ChurnRepairSample struct {
+	Time       int64
+	OnlineFrac float64
+	// MeanDegree averages connection counts over online peers — the
+	// topology-health signal (ghost edges count: the peer believes in
+	// them).
+	MeanDegree float64
+	// Success is the known-item flood hit fraction at the configured TTL.
+	Success float64
+}
+
+// ChurnRepairResult is the three-way comparison.
+type ChurnRepairResult struct {
+	Peers  int
+	TTL    int
+	Events int // timeline transitions applied to each scenario
+	// StaticSuccess is flood success on the untouched fault-free overlay,
+	// averaged over the same per-sample query streams.
+	StaticSuccess float64
+	NoRepair      []ChurnRepairSample
+	Repair        []ChurnRepairSample
+	NoRepairMean  float64
+	RepairMean    float64
+	// RecoveredFrac is how much of the static-vs-no-repair gap the
+	// maintenance protocol wins back (1 = full recovery).
+	RecoveredFrac float64
+	// RepairStats are the repair-scenario maintenance counters.
+	RepairStats gnet.RepairStats
+}
+
+// ChurnRepair runs the experiment with default configuration.
+func ChurnRepair(e *Env) (*ChurnRepairResult, error) {
+	return ChurnRepairWith(e, DefaultChurnRepairConfig(e.Seed))
+}
+
+// ChurnRepairWith runs the churn-repair comparison. Maintenance is
+// sequential (it mutates topology); only the measurement floods fan out,
+// each trial on its own derived stream, so results are byte-identical at
+// every worker count.
+func ChurnRepairWith(e *Env, cfg ChurnRepairConfig) (*ChurnRepairResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	queries := cfg.QueriesPerSample
+	if queries == 0 {
+		queries = e.P.SimTrials / 4
+		if queries < 40 {
+			queries = 40
+		}
+		if queries > 200 {
+			queries = 200
+		}
+	}
+	cat, err := catalog.Build(catalog.Config{
+		Seed:                e.Seed,
+		Peers:               e.P.GnutellaPeers,
+		UniqueObjects:       e.P.UniqueObjects,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building catalog: %w", err)
+	}
+	tl, err := churn.GenerateTimeline(cfg.Timeline, e.P.GnutellaPeers)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ChurnRepairResult{
+		Peers:  e.P.GnutellaPeers,
+		TTL:    cfg.TTL,
+		Events: len(tl.Events),
+	}
+
+	build := func() (*gnet.Network, error) {
+		gcfg := gnet.DefaultConfig(e.Seed)
+		gcfg.FirewalledFrac = e.P.FirewalledFrac
+		return gnet.NewFromCatalog(gcfg, cat)
+	}
+
+	// measure floods known-item queries from live origins; sample si of
+	// every scenario shares the stream family "sample/si/trial/*", so
+	// scenarios differ only through topology and liveness.
+	measure := func(nw *gnet.Network, si int) (float64, error) {
+		base := rng.NewNamed(e.Seed, "experiments/churn-repair-queries")
+		plane := nw.Faults()
+		found, err := parallel.MapWith(e.workers(), queries,
+			func() *gnet.FloodCtx { return nw.NewFloodCtx() },
+			func(ctx *gnet.FloodCtx, q int) (bool, error) {
+				r := base.Derive(fmt.Sprintf("sample/%d/trial/%d", si, q))
+				origin := pickAlive(nw, plane, r, -1)
+				target := pickAlive(nw, plane, r, origin)
+				if origin < 0 || target < 0 {
+					return false, nil
+				}
+				lib := nw.Peers[target].Library
+				criteria := lib[r.Intn(len(lib))].Name
+				fr, err := ctx.Flood(origin, criteria, cfg.TTL, r)
+				return err == nil && fr.TotalResults > 0, nil
+			})
+		if err != nil {
+			return 0, err
+		}
+		hits := 0
+		for _, f := range found {
+			if f {
+				hits++
+			}
+		}
+		return float64(hits) / float64(queries), nil
+	}
+
+	samples := int(cfg.Timeline.Duration / cfg.SampleEvery)
+
+	// Static anchor: the untouched overlay, everyone online, same query
+	// streams averaged over the same sample indices.
+	static, err := build()
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for si := 0; si < samples; si++ {
+		s, err := measure(static, si)
+		if err != nil {
+			return nil, err
+		}
+		sum += s
+	}
+	if samples > 0 {
+		res.StaticSuccess = sum / float64(samples)
+	}
+
+	// run replays the timeline against a fresh overlay, interleaving
+	// churn events, maintenance ticks and measurements in time order.
+	run := func(repair bool) ([]ChurnRepairSample, gnet.RepairStats, error) {
+		nw, err := build()
+		if err != nil {
+			return nil, gnet.RepairStats{}, err
+		}
+		rcfg := cfg.Repair
+		rcfg.Repair = repair
+		m, err := gnet.NewMaintainer(nw, rcfg, tl.Initial)
+		if err != nil {
+			return nil, gnet.RepairStats{}, err
+		}
+		var out []ChurnRepairSample
+		ei, si := 0, 0
+		for now := int64(1); now <= cfg.Timeline.Duration; now++ {
+			for ei < len(tl.Events) && tl.Events[ei].Time == now {
+				ev := tl.Events[ei]
+				ei++
+				if ev.Up {
+					err = m.PeerUp(int(ev.Peer), now)
+				} else {
+					err = m.PeerDown(int(ev.Peer), ev.Polite)
+				}
+				if err != nil {
+					return nil, gnet.RepairStats{}, err
+				}
+			}
+			if now%rcfg.PingInterval == 0 {
+				m.Tick(now)
+			}
+			if now%cfg.SampleEvery == 0 && si < samples {
+				s := ChurnRepairSample{Time: now}
+				online, degSum := 0, 0
+				for id, up := range m.Online() {
+					if up {
+						online++
+						degSum += len(nw.Peers[id].Neighbors)
+					}
+				}
+				n := len(nw.Peers)
+				s.OnlineFrac = float64(online) / float64(n)
+				if online > 0 {
+					s.MeanDegree = float64(degSum) / float64(online)
+				}
+				if s.Success, err = measure(nw, si); err != nil {
+					return nil, gnet.RepairStats{}, err
+				}
+				out = append(out, s)
+				si++
+			}
+		}
+		return out, m.Stats(), nil
+	}
+
+	if res.NoRepair, _, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.Repair, res.RepairStats, err = run(true); err != nil {
+		return nil, err
+	}
+	res.NoRepairMean = meanSuccess(res.NoRepair)
+	res.RepairMean = meanSuccess(res.Repair)
+	if gap := res.StaticSuccess - res.NoRepairMean; gap > 0 {
+		res.RecoveredFrac = (res.RepairMean - res.NoRepairMean) / gap
+	}
+	return res, nil
+}
+
+func meanSuccess(ss []ChurnRepairSample) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range ss {
+		sum += s.Success
+	}
+	return sum / float64(len(ss))
+}

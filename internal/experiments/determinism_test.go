@@ -27,6 +27,10 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 		}},
 		{"QRPEffect", func(e *Env) (any, error) { return QRPEffect(e) }},
 		{"WalkVsFlood", func(e *Env) (any, error) { return WalkVsFlood(e) }},
+		// ChurnRepair marshals the full repair timeline (per-sample degree
+		// and success for both scenarios plus maintenance counters), so
+		// this doubles as the golden determinism check on topology repair.
+		{"ChurnRepair", func(e *Env) (any, error) { return ChurnRepair(e) }},
 	}
 	for _, rn := range runners {
 		rn := rn

@@ -48,6 +48,11 @@ func ChurnComparison(e *Env) (*ChurnResult, error) {
 	cfg := churn.DefaultConfig(e.Seed + 82)
 	cfg.Duration = 2 * 3600
 	cfg.QueriesPerSample = maxIntE(e.P.SimTrials/4, 50)
+	// churn.Run validates too, but failing here keeps the error out of the
+	// fanned-out goroutines and names the experiment that built the config.
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: churn comparison config: %w", err)
+	}
 	// The two placements are measured over independent churn runs; fan
 	// them out (each run is internally deterministic from its own config).
 	places := []*search.Placement{uni, zpf}

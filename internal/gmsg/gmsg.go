@@ -20,6 +20,7 @@ import (
 const (
 	TypePing     byte = 0x00
 	TypePong     byte = 0x01
+	TypeBye      byte = 0x02
 	TypePush     byte = 0x40
 	TypeQuery    byte = 0x80
 	TypeQueryHit byte = 0x81
@@ -87,7 +88,7 @@ func DecodeHeader(b []byte) (Header, error) {
 	h.Hops = b[18]
 	h.PayloadLen = binary.LittleEndian.Uint32(b[19:23])
 	switch h.Type {
-	case TypePing, TypePong, TypePush, TypeQuery, TypeQueryHit:
+	case TypePing, TypePong, TypeBye, TypePush, TypeQuery, TypeQueryHit:
 	default:
 		return Header{}, fmt.Errorf("gmsg: unknown descriptor type 0x%02x", h.Type)
 	}
@@ -102,6 +103,7 @@ func DecodeHeader(b []byte) (Header, error) {
 type Message struct {
 	Header   Header
 	Pong     *Pong
+	Bye      *Bye
 	Query    *Query
 	QueryHit *QueryHit
 	Push     *Push
@@ -136,6 +138,47 @@ func decodePong(b []byte) (*Pong, error) {
 	p.FilesCount = binary.LittleEndian.Uint32(b[6:10])
 	p.KBShared = binary.LittleEndian.Uint32(b[10:14])
 	return p, nil
+}
+
+// Bye is the graceful-close descriptor (the Bye extension, widely deployed
+// in modern servents): a departing peer sends it on every connection before
+// closing, so neighbors learn of the departure immediately instead of
+// waiting for a failure detector to time the connection out. The payload is
+// a little-endian status code followed by a NUL-terminated reason string.
+type Bye struct {
+	Code   uint16
+	Reason string
+}
+
+// Customary Bye status codes.
+const (
+	ByeCodeShutdown    = 200 // clean user-initiated shutdown
+	ByeCodeMaintenance = 201 // leaving to rebalance connections
+)
+
+func (b *Bye) encode(dst []byte) []byte {
+	var s [2]byte
+	binary.LittleEndian.PutUint16(s[:], b.Code)
+	dst = append(dst, s[:]...)
+	dst = append(dst, b.Reason...)
+	return append(dst, 0)
+}
+
+func decodeBye(b []byte) (*Bye, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("gmsg: bye payload too short: %d bytes", len(b))
+	}
+	out := &Bye{Code: binary.LittleEndian.Uint16(b[0:2])}
+	rest := b[2:]
+	i := 0
+	for i < len(rest) && rest[i] != 0 {
+		i++
+	}
+	if i == len(rest) {
+		return nil, fmt.Errorf("gmsg: bye reason not null-terminated")
+	}
+	out.Reason = string(rest[:i])
+	return out, nil
 }
 
 // Query is a search request: minimum speed and the search criteria string.
@@ -288,6 +331,11 @@ func Encode(m *Message) ([]byte, error) {
 			return nil, fmt.Errorf("gmsg: pong message without pong payload")
 		}
 		payload = m.Pong.encode(nil)
+	case TypeBye:
+		if m.Bye == nil {
+			return nil, fmt.Errorf("gmsg: bye message without bye payload")
+		}
+		payload = m.Bye.encode(nil)
 	case TypeQuery:
 		if m.Query == nil {
 			return nil, fmt.Errorf("gmsg: query message without query payload")
@@ -335,6 +383,10 @@ func Decode(b []byte) (*Message, int, error) {
 		}
 	case TypePong:
 		if m.Pong, err = decodePong(payload); err != nil {
+			return nil, 0, err
+		}
+	case TypeBye:
+		if m.Bye, err = decodeBye(payload); err != nil {
 			return nil, 0, err
 		}
 	case TypeQuery:

@@ -119,6 +119,27 @@ func TestPongRoundTrip(t *testing.T) {
 	}
 }
 
+func TestByeRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{GUID: testGUID(), Type: TypeBye, TTL: 1},
+		Bye:    &Bye{Code: ByeCodeShutdown, Reason: "going home"},
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got.Bye, m.Bye) {
+		t.Errorf("bye round trip: %+v vs %+v", got.Bye, m.Bye)
+	}
+}
+
+func TestByeUnterminatedReasonRejected(t *testing.T) {
+	payload := (&Bye{Code: 200, Reason: "bye"}).encode(nil)
+	payload = payload[:len(payload)-1] // strip the NUL
+	b := EncodeHeader(nil, Header{GUID: testGUID(), Type: TypeBye, TTL: 1, PayloadLen: uint32(len(payload))})
+	b = append(b, payload...)
+	if _, _, err := Decode(b); err == nil {
+		t.Error("bye without reason terminator accepted")
+	}
+}
+
 func TestQueryRoundTrip(t *testing.T) {
 	m := &Message{
 		Header: Header{GUID: testGUID(), Type: TypeQuery, TTL: 5},

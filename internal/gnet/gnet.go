@@ -292,6 +292,50 @@ func (nw *Network) connect(a, b int) {
 	nw.Peers[b].Neighbors = append(nw.Peers[b].Neighbors, a)
 }
 
+// ConnectPeers adds the undirected overlay edge a–b at runtime (overlay
+// maintenance: a repaired or re-established connection). It rejects
+// self-loops, duplicate edges and out-of-range IDs. Topology mutation must
+// not race floods: callers alternate maintenance and measurement phases.
+func (nw *Network) ConnectPeers(a, b int) error {
+	if a < 0 || a >= len(nw.Peers) || b < 0 || b >= len(nw.Peers) {
+		return fmt.Errorf("gnet: connect %d–%d out of range", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("gnet: self-connection at peer %d", a)
+	}
+	if nw.connected(a, b) {
+		return fmt.Errorf("gnet: peers %d and %d already connected", a, b)
+	}
+	nw.connect(a, b)
+	return nil
+}
+
+// DisconnectPeers removes the undirected edge a–b (a departure, a detected
+// failure, or a received Bye), reporting whether the edge existed. Removal
+// preserves the order of the remaining neighbor lists so mutation sequences
+// stay deterministic.
+func (nw *Network) DisconnectPeers(a, b int) bool {
+	if a < 0 || a >= len(nw.Peers) || b < 0 || b >= len(nw.Peers) || a == b {
+		return false
+	}
+	if !removeNeighbor(nw.Peers[a], b) {
+		return false
+	}
+	removeNeighbor(nw.Peers[b], a)
+	return true
+}
+
+// removeNeighbor deletes id from p's neighbor list in place, keeping order.
+func removeNeighbor(p *Peer, id int) bool {
+	for i, x := range p.Neighbors {
+		if x == id {
+			p.Neighbors = append(p.Neighbors[:i], p.Neighbors[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 func (nw *Network) connected(a, b int) bool {
 	pa := nw.Peers[a]
 	for _, x := range pa.Neighbors {

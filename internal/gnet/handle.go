@@ -40,6 +40,10 @@ func (nw *Network) handle(p *Peer, m *gmsg.Message, c *msgConn) error {
 		return nw.handlePing(p, m, c)
 	case gmsg.TypeQuery:
 		return nw.handleQuery(p, m, c)
+	case gmsg.TypeBye:
+		// The remote is announcing a clean shutdown: end the session so the
+		// connection is torn down instead of lingering half-open.
+		return errPeerDeparted
 	default:
 		// Pongs, pushes and query hits arriving at a servent that didn't
 		// ask for them are dropped, per the spec's routing rules.

@@ -1,0 +1,92 @@
+package gnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// These tests pin the handshake failure paths the crawler's retry
+// discipline depends on: a connection reset or a truncated write
+// mid-handshake must surface promptly as an error the caller can classify
+// as retryable (anything but ErrFirewalled) — never a hang, and never a
+// nil handshake with a nil error.
+
+// connectUnderFault dials peer id, wraps the client side in a faultConn
+// with the given byte budget, and runs the handshake with a watchdog. It
+// fails the test if Connect hangs.
+func connectUnderFault(t *testing.T, nw *Network, id, budget int, truncate bool) error {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		_ = nw.ServeConn(id, server)
+	}()
+	conn := newFaultConn(client, budget, truncate)
+	defer conn.Close()
+
+	type outcome struct {
+		h   *Handshake
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		h, err := Connect(conn, map[string]string{"User-Agent": "t"})
+		done <- outcome{h, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err == nil && out.h == nil {
+			t.Fatal("Connect returned nil handshake with nil error")
+		}
+		return out.err
+	case <-time.After(10 * time.Second):
+		t.Fatal("Connect hung on a faulted connection")
+		return nil
+	}
+}
+
+func TestHandshakeConnResetIsRetryable(t *testing.T) {
+	nw := populatedNet(t, 60)
+	// Budgets straddle every phase of the handshake: mid-greeting,
+	// mid-header block, mid-confirmation.
+	for _, budget := range []int{1, 16, 40, 80, 120} {
+		err := connectUnderFault(t, nw, 2, budget, false)
+		if err == nil {
+			// The whole handshake fit inside the budget; nothing to classify.
+			continue
+		}
+		if errors.Is(err, ErrFirewalled) {
+			t.Fatalf("budget %d: reset classified as firewalled (permanent), want retryable", budget)
+		}
+		if !errors.Is(err, ErrConnReset) && !errors.Is(err, io.EOF) &&
+			!errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.ErrClosedPipe) {
+			t.Fatalf("budget %d: unexpected reset-mode error: %v", budget, err)
+		}
+	}
+	// A zero budget dies before the first byte and must error, not hang.
+	if err := connectUnderFault(t, nw, 3, 0, false); err == nil {
+		t.Fatal("handshake over a dead-on-arrival connection succeeded")
+	}
+}
+
+func TestHandshakeTruncatedWriteIsRetryable(t *testing.T) {
+	nw := populatedNet(t, 60)
+	for _, budget := range []int{1, 16, 40, 80, 120} {
+		err := connectUnderFault(t, nw, 4, budget, true)
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrFirewalled) {
+			t.Fatalf("budget %d: truncation classified as firewalled (permanent), want retryable", budget)
+		}
+		// Truncate mode ends with a clean EOF mid-message; the handshake
+		// reader must surface the EOF family, not silence.
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+			!errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, ErrConnReset) {
+			t.Fatalf("budget %d: unexpected truncate-mode error: %v", budget, err)
+		}
+	}
+}

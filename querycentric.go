@@ -164,6 +164,30 @@ func FaultSweepWith(e *Env, cfg FaultSweepConfig) (*FaultSweepResult, error) {
 	return experiments.FaultSweepWith(e, cfg)
 }
 
+// ChurnRepair types: the self-healing-overlay experiment (churn-driven
+// departures, ping/pong failure detection, host-cache topology repair).
+type (
+	ChurnRepairResult = experiments.ChurnRepairResult
+	ChurnRepairSample = experiments.ChurnRepairSample
+	ChurnRepairConfig = experiments.ChurnRepairConfig
+)
+
+// DefaultChurnRepairConfig returns the standard churn-repair schedule.
+func DefaultChurnRepairConfig(seed uint64) ChurnRepairConfig {
+	return experiments.DefaultChurnRepairConfig(seed)
+}
+
+// ChurnRepair replays one churn timeline against the overlay with and
+// without the maintenance protocol, measuring how much of the flood-success
+// loss self-healing recovers.
+func ChurnRepair(e *Env) (*ChurnRepairResult, error) { return experiments.ChurnRepair(e) }
+
+// ChurnRepairWith runs the churn-repair comparison with explicit timeline,
+// repair and measurement parameters.
+func ChurnRepairWith(e *Env, cfg ChurnRepairConfig) (*ChurnRepairResult, error) {
+	return experiments.ChurnRepairWith(e, cfg)
+}
+
 // SweepPoint is one evaluation-interval setting's mean statistic.
 type SweepPoint = experiments.SweepPoint
 
