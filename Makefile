@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench scalefull-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -30,14 +30,25 @@ determinism:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=5s -run '^$$' ./internal/gmsg
 
-# Flood hot-path and parallel-engine measurements -> BENCH_flood.json.
+# Flood hot-path, parallel-engine and term-index measurements ->
+# BENCH_flood.json (the index section compares interned vs legacy string
+# indexes at the default scale).
 bench:
-	$(GO) run ./cmd/qc-bench -o BENCH_flood.json -scale small
+	$(GO) run ./cmd/qc-bench -o BENCH_flood.json -scale small -index-scale default
+
+# Paper-scale construction smoke: build the ScaleFull catalog + network +
+# interned indexes (no trials, no legacy twin) under a wall-clock budget so
+# regressions that push 37k-peer / 8.1M-object construction out of a CI-able
+# budget are caught without running full experiments. The budget leaves
+# ~2x headroom over the measured single-CPU build (see BENCH_index_full.json).
+scalefull-smoke:
+	$(GO) run ./cmd/qc-bench -index-only -index-scale full -index-legacy=false \
+		-budget 10m -o out/BENCH_index_full.json
 
 # The CI gate: static checks, formatting, a clean build, the full suite
-# under the race detector, the workers=8 determinism regression and the
-# decoder fuzz smoke.
-ci: vet fmt-check build race determinism fuzz-smoke
+# under the race detector, the workers=8 determinism regression, the
+# decoder fuzz smoke and the paper-scale construction smoke.
+ci: vet fmt-check build race determinism fuzz-smoke scalefull-smoke
 
 check: ci
 

@@ -6,14 +6,24 @@
 //     that replays the pre-optimisation algorithm (fresh seen map,
 //     per-envelope decode, per-forwarder encode);
 //   - wall-clock for the Figure 8 sweep at 1, 2, 4 and 8 workers, with
-//     speedups relative to 1 worker.
+//     speedups relative to 1 worker;
+//   - an `index` section: catalog/network/index build times, dictionary
+//     size and heap-in-use around construction, and (unless
+//     -index-legacy=false) the legacy string-keyed index built from the
+//     same catalog with a match micro-benchmark down both paths.
 //
 // The baseline's equivalence to the historical implementation is pinned
-// by TestFloodMatchesNaiveReference in internal/gnet.
+// by TestFloodMatchesNaiveReference in internal/gnet, and the two index
+// paths' by TestFloodMatchesLegacyStringIndex.
+//
+// With -index-only the flood and Fig8 sections are skipped — this is the
+// paper-scale construction smoke (`make scalefull-smoke`), which fails if
+// construction exceeds -budget.
 //
 // Usage:
 //
 //	qc-bench -o BENCH_flood.json -scale tiny
+//	qc-bench -index-only -index-scale full -index-legacy=false -budget 15m
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 
 	qc "querycentric"
 	"querycentric/internal/catalog"
+	"querycentric/internal/experiments"
 	"querycentric/internal/gmsg"
 	"querycentric/internal/gnet"
 	"querycentric/internal/rng"
@@ -48,21 +59,62 @@ type Fig8Point struct {
 	Speedup float64 `json:"speedup_vs_1_worker"`
 }
 
+// IndexBench records network-construction cost and the term-index memory
+// footprint at one scale: wall-clock per phase, runtime.MemStats heap-in-use
+// around each phase, and (optionally) the retained string-keyed index built
+// from the same catalog for an honest before/after comparison.
+type IndexBench struct {
+	Scale      string `json:"scale"`
+	Peers      int    `json:"peers"`
+	Objects    int    `json:"objects"`
+	Placements int    `json:"placements"`
+
+	CatalogSeconds    float64 `json:"catalog_seconds"`
+	NetworkSeconds    float64 `json:"network_seconds"` // includes dictionary build
+	IndexBuildSeconds float64 `json:"index_build_seconds"`
+
+	DictTerms     int    `json:"dict_terms"`
+	DictHeapBytes uint64 `json:"dict_heap_bytes"`
+	IndexTerms    int    `json:"index_terms"`
+	Postings      int    `json:"postings"`
+
+	// Structural estimates (IndexStats) and measured process heap-in-use
+	// (runtime.MemStats.HeapAlloc after GC) around each phase.
+	InternedHeapBytes   uint64 `json:"interned_index_heap_bytes"`
+	HeapBeforeBytes     uint64 `json:"heap_before_bytes"`
+	HeapAfterBuildBytes uint64 `json:"heap_after_build_bytes"`
+	HeapAfterIndexBytes uint64 `json:"heap_after_index_bytes"`
+
+	// Legacy comparison (omitted when -index-legacy=false).
+	LegacyHeapBytes     uint64  `json:"legacy_index_heap_bytes,omitempty"`
+	LegacyMeasuredBytes uint64  `json:"legacy_measured_delta_bytes,omitempty"`
+	HeapRatio           float64 `json:"index_heap_ratio_legacy_over_interned,omitempty"`
+
+	MatchLegacyNsPerOp   float64 `json:"match_legacy_ns_per_op,omitempty"`
+	MatchInternedNsPerOp float64 `json:"match_interned_ns_per_op,omitempty"`
+	MatchSpeedup         float64 `json:"match_speedup,omitempty"`
+
+	BudgetSeconds float64 `json:"budget_seconds,omitempty"`
+	WithinBudget  bool    `json:"within_budget"`
+}
+
 // Report is the BENCH_flood.json schema.
 type Report struct {
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 
-	FloodPeers   int          `json:"flood_peers"`
-	FloodTTL     int          `json:"flood_ttl"`
-	Flood        []FloodBench `json:"flood"`
-	FloodSpeedup float64      `json:"flood_speedup_ns"`
-	AllocsRatio  float64      `json:"flood_allocs_ratio"`
+	FloodPeers   int          `json:"flood_peers,omitempty"`
+	FloodTTL     int          `json:"flood_ttl,omitempty"`
+	Flood        []FloodBench `json:"flood,omitempty"`
+	FloodSpeedup float64      `json:"flood_speedup_ns,omitempty"`
+	AllocsRatio  float64      `json:"flood_allocs_ratio,omitempty"`
 
-	Fig8Scale string      `json:"fig8_scale"`
-	Fig8Nodes int         `json:"fig8_nodes"`
-	Fig8      []Fig8Point `json:"fig8"`
+	Fig8Scale string      `json:"fig8_scale,omitempty"`
+	Fig8Nodes int         `json:"fig8_nodes,omitempty"`
+	Fig8      []Fig8Point `json:"fig8,omitempty"`
+
+	Index *IndexBench `json:"index,omitempty"`
 
 	Note string `json:"note"`
 }
@@ -70,10 +122,14 @@ type Report struct {
 func main() {
 	testing.Init() // register -test.* flags so benchtime is adjustable
 	var (
-		out       = flag.String("o", "BENCH_flood.json", "output file")
-		peers     = flag.Int("peers", 2000, "network size for the flood micro-benchmark")
-		scaleName = flag.String("scale", "tiny", "scale for the Fig8 worker sweep (tiny|small|default|full)")
-		benchtime = flag.Duration("benchtime", time.Second, "target duration per micro-benchmark")
+		out        = flag.String("o", "BENCH_flood.json", "output file")
+		peers      = flag.Int("peers", 2000, "network size for the flood micro-benchmark")
+		scaleName  = flag.String("scale", "tiny", "scale for the Fig8 worker sweep (tiny|small|default|full)")
+		benchtime  = flag.Duration("benchtime", time.Second, "target duration per micro-benchmark")
+		indexScale = flag.String("index-scale", "default", "scale for the index build/memory section (tiny|small|default|full)")
+		indexOnly  = flag.Bool("index-only", false, "run only the index section (the ScaleFull construction smoke)")
+		indexLegac = flag.Bool("index-legacy", true, "also build the legacy string index for a before/after comparison")
+		budget     = flag.Duration("budget", 0, "fail if the index section's construction phases exceed this wall-clock budget (0 = no budget)")
 	)
 	flag.Parse()
 
@@ -81,66 +137,76 @@ func main() {
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		FloodPeers: *peers,
-		FloodTTL:   4,
 		Note: "flood rows compare the optimised FloodCtx against the " +
 			"pre-optimisation map-based algorithm on the same network and " +
-			"query stream; fig8 speedups are bounded above by gomaxprocs.",
+			"query stream; fig8 speedups are bounded above by gomaxprocs; " +
+			"the index section compares the interned term index against the " +
+			"retained string-keyed path built from the same catalog.",
 	}
 
-	nw, criteria := buildNet(*peers)
-	fmt.Fprintf(os.Stderr, "qc-bench: flood micro-benchmark, %d peers, ttl %d\n", *peers, rep.FloodTTL)
-	naive := runBench("flood_naive_map", *benchtime, func(b *testing.B) {
-		r := rng.New(1)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := floodBaseline(nw, i%*peers, criteria, 4, r); err != nil {
-				b.Fatal(err)
+	if !*indexOnly {
+		rep.FloodPeers = *peers
+		rep.FloodTTL = 4
+		nw, criteria := buildNet(*peers)
+		fmt.Fprintf(os.Stderr, "qc-bench: flood micro-benchmark, %d peers, ttl %d\n", *peers, rep.FloodTTL)
+		naive := runBench("flood_naive_map", *benchtime, func(b *testing.B) {
+			r := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := floodBaseline(nw, i%*peers, criteria, 4, r); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	ctx := nw.NewFloodCtx()
-	opt := runBench("flood_ctx", *benchtime, func(b *testing.B) {
-		r := rng.New(1)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := ctx.Flood(i%*peers, criteria, 4, r); err != nil {
-				b.Fatal(err)
+		})
+		ctx := nw.NewFloodCtx()
+		opt := runBench("flood_ctx", *benchtime, func(b *testing.B) {
+			r := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctx.Flood(i%*peers, criteria, 4, r); err != nil {
+					b.Fatal(err)
+				}
 			}
+		})
+		rep.Flood = []FloodBench{naive, opt}
+		if opt.NsPerOp > 0 {
+			rep.FloodSpeedup = naive.NsPerOp / opt.NsPerOp
 		}
-	})
-	rep.Flood = []FloodBench{naive, opt}
-	if opt.NsPerOp > 0 {
-		rep.FloodSpeedup = naive.NsPerOp / opt.NsPerOp
-	}
-	if opt.AllocsPerOp > 0 {
-		rep.AllocsRatio = float64(naive.AllocsPerOp) / float64(opt.AllocsPerOp)
-	}
-	fmt.Fprintf(os.Stderr, "qc-bench: naive %.0f ns/op %d allocs/op; ctx %.0f ns/op %d allocs/op (%.2fx ns, %.1fx allocs)\n",
-		naive.NsPerOp, naive.AllocsPerOp, opt.NsPerOp, opt.AllocsPerOp, rep.FloodSpeedup, rep.AllocsRatio)
+		if opt.AllocsPerOp > 0 {
+			rep.AllocsRatio = float64(naive.AllocsPerOp) / float64(opt.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "qc-bench: naive %.0f ns/op %d allocs/op; ctx %.0f ns/op %d allocs/op (%.2fx ns, %.1fx allocs)\n",
+			naive.NsPerOp, naive.AllocsPerOp, opt.NsPerOp, opt.AllocsPerOp, rep.FloodSpeedup, rep.AllocsRatio)
 
-	scale, err := qc.ParseScale(*scaleName)
-	if err != nil {
-		fail(err)
-	}
-	rep.Fig8Scale = *scaleName
-	for _, workers := range []int{1, 2, 4, 8} {
-		env := qc.NewEnv(scale, 42)
-		env.Workers = workers
-		start := time.Now()
-		f8, err := qc.Fig8(env)
+		scale, err := qc.ParseScale(*scaleName)
 		if err != nil {
 			fail(err)
 		}
-		secs := time.Since(start).Seconds()
-		rep.Fig8Nodes = f8.Nodes
-		pt := Fig8Point{Workers: workers, Seconds: secs, Speedup: 1}
-		if len(rep.Fig8) > 0 && secs > 0 {
-			pt.Speedup = rep.Fig8[0].Seconds / secs
+		rep.Fig8Scale = *scaleName
+		for _, workers := range []int{1, 2, 4, 8} {
+			env := qc.NewEnv(scale, 42)
+			env.Workers = workers
+			start := time.Now()
+			f8, err := qc.Fig8(env)
+			if err != nil {
+				fail(err)
+			}
+			secs := time.Since(start).Seconds()
+			rep.Fig8Nodes = f8.Nodes
+			pt := Fig8Point{Workers: workers, Seconds: secs, Speedup: 1}
+			if len(rep.Fig8) > 0 && secs > 0 {
+				pt.Speedup = rep.Fig8[0].Seconds / secs
+			}
+			rep.Fig8 = append(rep.Fig8, pt)
+			fmt.Fprintf(os.Stderr, "qc-bench: fig8 %s workers=%d %.2fs (%.2fx)\n", *scaleName, workers, secs, pt.Speedup)
 		}
-		rep.Fig8 = append(rep.Fig8, pt)
-		fmt.Fprintf(os.Stderr, "qc-bench: fig8 %s workers=%d %.2fs (%.2fx)\n", *scaleName, workers, secs, pt.Speedup)
 	}
+
+	ib, err := runIndexBench(*indexScale, *indexLegac, *budget, *benchtime)
+	if err != nil {
+		fail(err)
+	}
+	rep.Index = ib
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -151,6 +217,153 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "qc-bench: wrote %s\n", *out)
+	if !ib.WithinBudget {
+		fmt.Fprintf(os.Stderr, "qc-bench: index construction exceeded budget (%.1fs > %.1fs)\n",
+			ib.CatalogSeconds+ib.NetworkSeconds+ib.IndexBuildSeconds, ib.BudgetSeconds)
+		os.Exit(1)
+	}
+}
+
+// heapUsed returns heap-in-use after a forced collection, so phase deltas
+// measure retained structures rather than garbage.
+func heapUsed() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// runIndexBench measures network construction and the term-index footprint
+// at one scale: catalog build, network+dictionary build, eager index build,
+// heap-in-use around each phase, and optionally the legacy string index
+// built from the same catalog plus a match micro-benchmark down both paths.
+func runIndexBench(scaleName string, withLegacy bool, budget, benchtime time.Duration) (*IndexBench, error) {
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	par := experiments.ParamsFor(scale)
+	ib := &IndexBench{
+		Scale: scaleName, Peers: par.GnutellaPeers, Objects: par.UniqueObjects,
+		WithinBudget: true,
+	}
+	ccfg := catalog.Config{
+		Seed: 42, Peers: par.GnutellaPeers, UniqueObjects: par.UniqueObjects,
+		ReplicaAlpha: 2.45, VariantProb: 0.08, NonSpecificPeerFrac: 0.05,
+	}
+	gcfg := gnet.DefaultConfig(42)
+	gcfg.FirewalledFrac = par.FirewalledFrac
+
+	fmt.Fprintf(os.Stderr, "qc-bench: index section, scale %s (%d peers, %d objects)\n",
+		scaleName, par.GnutellaPeers, par.UniqueObjects)
+	ib.HeapBeforeBytes = heapUsed()
+	t0 := time.Now()
+	cat, err := catalog.Build(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	ib.CatalogSeconds = time.Since(t0).Seconds()
+	ib.Placements = cat.TotalPlacements
+	t0 = time.Now()
+	nw, err := gnet.NewFromCatalog(gcfg, cat)
+	if err != nil {
+		return nil, err
+	}
+	ib.NetworkSeconds = time.Since(t0).Seconds()
+	ib.HeapAfterBuildBytes = heapUsed()
+	t0 = time.Now()
+	if err := nw.BuildIndexes(0); err != nil {
+		return nil, err
+	}
+	ib.IndexBuildSeconds = time.Since(t0).Seconds()
+	ib.HeapAfterIndexBytes = heapUsed()
+
+	st, err := nw.IndexStats()
+	if err != nil {
+		return nil, err
+	}
+	d := nw.TermDict()
+	ib.DictTerms = st.DictTerms
+	ib.DictHeapBytes = d.HeapBytes()
+	ib.IndexTerms = st.IndexTerms
+	ib.Postings = st.Postings
+	ib.InternedHeapBytes = st.HeapBytes // includes the shared dictionary
+	fmt.Fprintf(os.Stderr, "qc-bench: catalog %.2fs, network %.2fs, indexes %.2fs; %d dict terms, interned index+dict ~%.1f MiB\n",
+		ib.CatalogSeconds, ib.NetworkSeconds, ib.IndexBuildSeconds,
+		ib.DictTerms, float64(ib.InternedHeapBytes)/(1<<20))
+
+	if budget > 0 {
+		ib.BudgetSeconds = budget.Seconds()
+		total := ib.CatalogSeconds + ib.NetworkSeconds + ib.IndexBuildSeconds
+		ib.WithinBudget = total <= ib.BudgetSeconds
+	}
+
+	if withLegacy {
+		lw, err := gnet.NewFromCatalog(gcfg, cat)
+		if err != nil {
+			return nil, err
+		}
+		lw.UseLegacyStringIndex()
+		before := heapUsed()
+		if err := lw.BuildIndexes(0); err != nil {
+			return nil, err
+		}
+		after := heapUsed()
+		if after > before {
+			ib.LegacyMeasuredBytes = after - before
+		}
+		lst, err := lw.IndexStats()
+		if err != nil {
+			return nil, err
+		}
+		ib.LegacyHeapBytes = lst.HeapBytes
+		if ib.InternedHeapBytes > 0 {
+			ib.HeapRatio = float64(lst.HeapBytes) / float64(ib.InternedHeapBytes)
+		}
+
+		// Match micro-benchmark down both paths: same peer, same criteria
+		// stream (the networks share the catalog, so libraries match).
+		target := 0
+		for i, p := range nw.Peers {
+			if len(p.Library) > len(nw.Peers[target].Library) {
+				target = i
+			}
+		}
+		criteria := make([]string, 0, 64)
+		for _, p := range nw.Peers {
+			if len(p.Library) > 0 {
+				criteria = append(criteria, p.Library[0].Name)
+				if len(criteria) == 64 {
+					break
+				}
+			}
+		}
+		pi, pl := nw.Peers[target], lw.Peers[target]
+		legacyRow := runBench("match_legacy", benchtime, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl.Match(criteria[i%len(criteria)])
+			}
+		})
+		internedRow := runBench("match_interned", benchtime, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pi.Match(criteria[i%len(criteria)])
+			}
+		})
+		ib.MatchLegacyNsPerOp = legacyRow.NsPerOp
+		ib.MatchInternedNsPerOp = internedRow.NsPerOp
+		if internedRow.NsPerOp > 0 {
+			ib.MatchSpeedup = legacyRow.NsPerOp / internedRow.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "qc-bench: index heap legacy ~%.1f MiB vs interned ~%.1f MiB (%.1fx); match %.0f vs %.0f ns/op (%.2fx)\n",
+			float64(ib.LegacyHeapBytes)/(1<<20), float64(ib.InternedHeapBytes)/(1<<20), ib.HeapRatio,
+			legacyRow.NsPerOp, internedRow.NsPerOp, ib.MatchSpeedup)
+		runtime.KeepAlive(lw)
+	}
+	runtime.KeepAlive(nw)
+	runtime.KeepAlive(cat)
+	return ib, nil
 }
 
 // runBench adapts testing.Benchmark to a FloodBench row.

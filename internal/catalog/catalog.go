@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"querycentric/internal/namegen"
+	"querycentric/internal/parallel"
 	"querycentric/internal/rng"
 	"querycentric/internal/vocab"
 	"querycentric/internal/zipf"
@@ -75,8 +76,19 @@ type Catalog struct {
 }
 
 // Build constructs the population for cfg. Identical configs build
-// identical catalogs.
+// identical catalogs. Canonical name generation fans out over GOMAXPROCS
+// workers; see BuildWorkers.
 func Build(cfg Config) (*Catalog, error) {
+	return BuildWorkers(cfg, 0)
+}
+
+// BuildWorkers is Build with an explicit worker bound for the parallel
+// phase. Only canonical name generation is parallelized — namegen.Canonical
+// is a pure function of (seed, objID), drawn on its own derived stream — so
+// the catalog is byte-identical for every worker count. Replica counts,
+// placements and name variants stay on shared sequential named streams;
+// reordering those draws would change the population.
+func BuildWorkers(cfg Config, workers int) (*Catalog, error) {
 	if cfg.Peers <= 0 {
 		return nil, fmt.Errorf("catalog: Peers must be positive, got %d", cfg.Peers)
 	}
@@ -148,9 +160,29 @@ func Build(cfg Config) (*Catalog, error) {
 		cum[i] = total
 	}
 
+	// Canonical names first: each is generated from a per-object derived
+	// stream, so chunks are independent. This is the dominant cost of a
+	// paper-scale build (8.1M objects) and the only phase safe to fan out.
+	names := make([]string, cfg.UniqueObjects)
+	const chunk = 1024
+	nChunks := (cfg.UniqueObjects + chunk - 1) / chunk
+	if err := parallel.ForEach(workers, nChunks, func(ci int) error {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > cfg.UniqueObjects {
+			hi = cfg.UniqueObjects
+		}
+		for i := lo; i < hi; i++ {
+			names[i] = gen.Canonical(i)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	for i := range c.Objects {
 		k := repDist.Sample(repRNG)
-		name := gen.Canonical(i)
+		name := names[i]
 		c.Objects[i] = Object{ID: i, Name: name, Replicas: k}
 		for _, p := range samplePeers(placeRNG, cum, k) {
 			shared := name

@@ -1,0 +1,207 @@
+// Package dict implements the shared, immutable term dictionary that makes
+// paper-scale keyword handling routine: every token that appears in any
+// shared file name is interned once to a dense uint32 TermID, and all
+// downstream structures — per-peer posting indexes, query resolution, QRP
+// route tables — work on integer IDs instead of strings.
+//
+// The motivation is the paper's own measurement: its April 2007 crawl saw
+// 1.22M distinct terms across 12.1M file placements, so per-peer
+// map[string][]int32 term indexes repeat millions of string keys (each
+// retaining a lowered copy of the file name it was sliced from). Interning
+// stores each term exactly once, lets posting indexes collapse into flat
+// arrays, and lets the QRP hash of every term be computed once per network
+// instead of once per (peer, flood).
+//
+// Determinism: IDs are assigned in lexicographic term order, so the
+// dictionary built from a given name multiset is identical regardless of
+// how the build was sharded across workers.
+package dict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unsafe"
+
+	"querycentric/internal/parallel"
+	"querycentric/internal/qrp"
+	"querycentric/internal/terms"
+)
+
+// TermID is a dense dictionary index. IDs are contiguous in [0, Len()).
+type TermID uint32
+
+// NoTerm marks a token absent from the dictionary (a query term that
+// appears in no shared file name — the paper's mismatch case).
+const NoTerm TermID = ^TermID(0)
+
+// Dict is an immutable interned term dictionary. Safe for concurrent use
+// after Build returns.
+type Dict struct {
+	byID  []string          // TermID → canonical term string
+	ids   map[string]TermID // term → TermID
+	prods []uint32          // TermID → QRP hash product (pre-shift)
+}
+
+// Build interns every token of every name in libraries. Tokenization fans
+// out over up to `workers` goroutines (≤ 0 resolves to GOMAXPROCS); the
+// result is byte-identical for every worker count because IDs are assigned
+// in sorted term order after the shards merge.
+func Build(libraries [][]string, workers int) *Dict {
+	workers = parallel.Workers(workers)
+	shards := workers
+	if shards > len(libraries) {
+		shards = len(libraries)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	sets := make([]map[string]struct{}, shards)
+	// Contiguous library ranges per shard; each worker tokenizes its own
+	// range into a private set, so no locking and no ordering sensitivity.
+	_ = parallel.ForEach(workers, shards, func(s int) error {
+		lo := s * len(libraries) / shards
+		hi := (s + 1) * len(libraries) / shards
+		set := make(map[string]struct{})
+		for _, lib := range libraries[lo:hi] {
+			for _, name := range lib {
+				for _, tok := range terms.Tokenize(name) {
+					if _, dup := set[tok]; !dup {
+						// Clone: Tokenize returns substrings of a lowered
+						// copy of the whole name; storing them directly
+						// would retain one such copy per distinct name.
+						set[strings.Clone(tok)] = struct{}{}
+					}
+				}
+			}
+		}
+		sets[s] = set
+		return nil
+	})
+	union := sets[0]
+	if union == nil {
+		union = map[string]struct{}{}
+	}
+	for _, set := range sets[1:] {
+		for tok := range set {
+			union[tok] = struct{}{}
+		}
+	}
+	d := &Dict{
+		byID: make([]string, 0, len(union)),
+		ids:  make(map[string]TermID, len(union)),
+	}
+	for tok := range union {
+		d.byID = append(d.byID, tok)
+	}
+	sort.Strings(d.byID)
+	d.prods = make([]uint32, len(d.byID))
+	for i, tok := range d.byID {
+		d.ids[tok] = TermID(i)
+	}
+	// QRP products are pure per term; hash them in parallel chunks.
+	const chunk = 8192
+	nChunks := (len(d.byID) + chunk - 1) / chunk
+	_ = parallel.ForEach(workers, nChunks, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(d.byID) {
+			hi = len(d.byID)
+		}
+		for i := lo; i < hi; i++ {
+			d.prods[i] = qrp.HashProduct(d.byID[i])
+		}
+		return nil
+	})
+	return d
+}
+
+// FromNames builds a dictionary over a flat name list (one "library").
+func FromNames(names []string, workers int) *Dict {
+	return Build([][]string{names}, workers)
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.byID) }
+
+// Term returns the canonical string of id. It panics on out-of-range IDs
+// (including NoTerm), like a slice index.
+func (d *Dict) Term(id TermID) string { return d.byID[id] }
+
+// Lookup resolves one token.
+func (d *Dict) Lookup(tok string) (TermID, bool) {
+	id, ok := d.ids[tok]
+	return id, ok
+}
+
+// Intern returns the dictionary's canonical instance of tok (so callers can
+// drop the backing array tok was sliced from) and whether tok is known.
+func (d *Dict) Intern(tok string) (string, bool) {
+	if id, ok := d.ids[tok]; ok {
+		return d.byID[id], true
+	}
+	return tok, false
+}
+
+// Resolve maps toks to TermIDs, appending to dst (pass dst[:0] to reuse a
+// scratch slice). Unknown tokens resolve to NoTerm; ok reports whether
+// every token was known. A conjunctive query with any unknown term can
+// match nothing anywhere, so callers short-circuit on !ok.
+func (d *Dict) Resolve(toks []string, dst []TermID) (ids []TermID, ok bool) {
+	ok = true
+	for _, tok := range toks {
+		id, known := d.ids[tok]
+		if !known {
+			id = NoTerm
+			ok = false
+		}
+		dst = append(dst, id)
+	}
+	return dst, ok
+}
+
+// Product returns the precomputed QRP hash product of id (see
+// qrp.HashProduct); the slot for a table of 2^bits slots is
+// qrp.SlotOf(Product(id), bits).
+func (d *Dict) Product(id TermID) uint32 { return d.prods[id] }
+
+// Slot returns id's QRP table slot at the given table width.
+func (d *Dict) Slot(id TermID, bits uint) uint32 {
+	return qrp.SlotOf(d.prods[id], bits)
+}
+
+// HeapBytes estimates the dictionary's retained heap: term bytes, the
+// ID slices and the lookup map (conservative per-entry estimate).
+func (d *Dict) HeapBytes() uint64 {
+	var b uint64
+	for _, t := range d.byID {
+		b += uint64(len(t))
+	}
+	b += uint64(len(d.byID)) * uint64(unsafe.Sizeof("")) // string headers
+	b += uint64(len(d.prods)) * 4
+	// map[string]TermID: ~per-bucket overhead + key header + value.
+	b += uint64(len(d.ids)) * (uint64(unsafe.Sizeof("")) + 4 + 16)
+	return b
+}
+
+// Checksum folds the dictionary into a 64-bit FNV-1a fingerprint (for
+// worker-count determinism gates).
+func (d *Dict) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, t := range d.byID {
+		for i := 0; i < len(t); i++ {
+			h = (h ^ uint64(t[i])) * prime64
+		}
+		h = (h ^ 0xff) * prime64
+	}
+	return h
+}
+
+// String describes the dictionary (diagnostics).
+func (d *Dict) String() string {
+	return fmt.Sprintf("dict{%d terms, ~%d KiB}", d.Len(), d.HeapBytes()/1024)
+}

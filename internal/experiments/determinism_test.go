@@ -3,6 +3,9 @@ package experiments
 import (
 	"encoding/json"
 	"testing"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/gnet"
 )
 
 // TestWorkerCountDoesNotChangeResults is the parallel-engine determinism
@@ -31,6 +34,11 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 		// and success for both scenarios plus maintenance counters), so
 		// this doubles as the golden determinism check on topology repair.
 		{"ChurnRepair", func(e *Env) (any, error) { return ChurnRepair(e) }},
+		// NetworkConstruction covers the parallel build phases introduced
+		// with term interning: catalog name generation, the shared
+		// dictionary, and per-peer posting indexes must be byte-identical
+		// at any worker count.
+		{"NetworkConstruction", func(e *Env) (any, error) { return networkConstructionFingerprint(e) }},
 	}
 	for _, rn := range runners {
 		rn := rn
@@ -61,4 +69,48 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 			}
 		})
 	}
+}
+
+// networkConstructionFingerprint builds the catalog + network + indexes at
+// the environment's worker count and returns everything the worker count
+// could conceivably perturb: the per-peer library placements, the shared
+// dictionary fingerprint, and the checksum over every peer's flat posting
+// index.
+func networkConstructionFingerprint(e *Env) (any, error) {
+	cat, err := catalog.BuildWorkers(catalog.Config{
+		Seed:                e.Seed,
+		Peers:               e.P.GnutellaPeers,
+		UniqueObjects:       e.P.UniqueObjects,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	}, e.Workers)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := gnet.DefaultConfig(e.Seed)
+	gcfg.FirewalledFrac = e.P.FirewalledFrac
+	nw, err := gnet.NewFromCatalogWorkers(gcfg, cat, e.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.BuildIndexes(e.Workers); err != nil {
+		return nil, err
+	}
+	sum, err := nw.IndexChecksum()
+	if err != nil {
+		return nil, err
+	}
+	st, err := nw.IndexStats()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"placements":     cat.TotalPlacements,
+		"libraries":      cat.Libraries,
+		"dict_terms":     nw.TermDict().Len(),
+		"dict_checksum":  nw.TermDict().Checksum(),
+		"index_checksum": sum,
+		"index_stats":    st,
+	}, nil
 }

@@ -153,20 +153,20 @@ func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
 	if e.objTrace != nil {
 		return e.objTrace, e.objStats, nil
 	}
-	cat, err := catalog.Build(catalog.Config{
+	cat, err := catalog.BuildWorkers(catalog.Config{
 		Seed:                e.Seed,
 		Peers:               e.P.GnutellaPeers,
 		UniqueObjects:       e.P.UniqueObjects,
 		ReplicaAlpha:        2.45,
 		VariantProb:         0.08,
 		NonSpecificPeerFrac: 0.05,
-	})
+	}, e.Workers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: building catalog: %w", err)
 	}
 	gcfg := gnet.DefaultConfig(e.Seed)
 	gcfg.FirewalledFrac = e.P.FirewalledFrac
-	nw, err := gnet.NewFromCatalog(gcfg, cat)
+	nw, err := gnet.NewFromCatalogWorkers(gcfg, cat, e.Workers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: building network: %w", err)
 	}

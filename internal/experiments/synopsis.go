@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"querycentric/internal/core"
+	"querycentric/internal/dict"
 	"querycentric/internal/gia"
 	"querycentric/internal/overlay"
 	"querycentric/internal/rng"
@@ -37,7 +38,15 @@ func SynopsisAblation(e *Env) (*SynopsisResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Per-peer content term lists from the crawl.
+	// Per-peer content term lists from the crawl. Tokens are interned
+	// through a trace-wide dictionary so the retained lists share one
+	// canonical string per term instead of pinning a lowered copy of every
+	// record name they were sliced from.
+	names := make([]string, len(tr.Records))
+	for i, rec := range tr.Records {
+		names[i] = rec.Name
+	}
+	d := dict.FromNames(names, e.Workers)
 	content := make([][]string, tr.Peers)
 	seen := make([]map[string]struct{}, tr.Peers)
 	for i := range seen {
@@ -52,6 +61,7 @@ func SynopsisAblation(e *Env) (*SynopsisResult, error) {
 			if len(content[rec.Peer]) >= maxTermsPerPeer {
 				break
 			}
+			tok, _ = d.Intern(tok)
 			if _, dup := seen[rec.Peer][tok]; dup {
 				continue
 			}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"querycentric/internal/dict"
 	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
 	"querycentric/internal/qrp"
@@ -57,7 +58,15 @@ type FloodCtx struct {
 
 	frontier []int32
 	next     []int32
-	toks     []string // per-peer sort scratch for MatchTokens
+
+	// qids holds the flood's query resolved to shared-dictionary TermIDs
+	// (hoisted once per flood); qhash the hoisted QRP slots. ms is the
+	// per-peer match scratch — deliberately distinct from qids, since a
+	// peer on a local-dictionary fallback re-resolves into ms.ids and must
+	// not clobber the hoisted IDs other peers still read.
+	qids  []dict.TermID
+	qhash []uint32
+	ms    matchScratch
 }
 
 // NewFloodCtx returns a flood context for this network, typically one per
@@ -128,12 +137,23 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	epoch := c.bump()
 	c.seen[origin] = epoch
 
-	// Per-flood hoists: the query's deduped token list (identical for
-	// every reached peer), the QRP hash of the criteria (identical for
-	// every candidate edge), the liveness mask, and whether loss rolls
-	// are live.
+	// Per-flood hoists: the query's deduped token list resolved to shared
+	// TermIDs (identical for every reached peer), the QRP hash of the
+	// criteria (identical for every candidate edge), the liveness mask,
+	// and whether loss rolls are live. A query term unknown to the shared
+	// dictionary resolves to NoTerm, which no posting index contains, so
+	// such floods still spread and count messages but miss at every peer
+	// after one binary-search probe (the paper's query/annotation mismatch
+	// case). The miss stays per-peer rather than flood-wide because a peer
+	// whose library was mutated after construction matches through its own
+	// local dictionary, which may know terms the shared one never saw.
 	toks := TokenizeQuery(criteria)
-	hoist := nw.hoistQRP(criteria)
+	d := nw.dict
+	matchable := len(toks) > 0
+	if matchable && d != nil {
+		c.qids, _ = d.Resolve(toks, c.qids[:0])
+	}
+	hoist := c.hoistQRPToks(criteria, toks)
 	plane := nw.faults
 	alive := plane.LivenessSnapshot()
 	lossy := plane.Config().MessageLoss > 0
@@ -178,7 +198,9 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 			res.PeersReached++
 			peer := nw.Peers[to]
 			var files []File
-			files, c.toks = peer.MatchTokens(toks, c.toks)
+			if matchable {
+				files = peer.matchForFlood(d, c.qids, toks, &c.ms)
+			}
 			if len(files) > 0 {
 				hit := Hit{PeerID: int(to), Hops: hops, Files: make([]gmsg.Result, 0, len(files))}
 				for _, f := range files {
@@ -243,6 +265,36 @@ func (nw *Network) hoistQRP(criteria string) qrpHoist {
 		return qrpHoist{}
 	}
 	return qrpHoist{active: true, hashes: qrp.QueryHashes(criteria, nw.qrpBits)}
+}
+
+// hoistQRPToks computes the flood-wide QRP state from the already-deduped
+// token list, reusing the context's slot scratch. Known terms read their
+// precomputed hash product from the dictionary; unknown query terms are
+// still string-hashed — they can false-positive into a route table, and the
+// forwarding decision must not depend on which path computed the slots.
+// Checking deduped tokens is equivalent to the per-occurrence QueryHashes:
+// duplicate occurrences test the same slot.
+func (c *FloodCtx) hoistQRPToks(criteria string, toks []string) qrpHoist {
+	nw := c.nw
+	if nw.qrpTables == nil || criteria == BrowseCriteria {
+		return qrpHoist{}
+	}
+	if len(toks) == 0 {
+		// Keywordless query: active with no hashes, which no table matches.
+		return qrpHoist{active: true}
+	}
+	hs := c.qhash[:0]
+	for _, tok := range toks {
+		if nw.dict != nil {
+			if id, ok := nw.dict.Lookup(tok); ok {
+				hs = append(hs, nw.dict.Slot(id, nw.qrpBits))
+				continue
+			}
+		}
+		hs = append(hs, qrp.Hash(tok, nw.qrpBits))
+	}
+	c.qhash = hs
+	return qrpHoist{active: true, hashes: hs}
 }
 
 // qrpAllowsHoisted is qrpAllows with the query hash pre-computed.

@@ -16,11 +16,11 @@ import (
 	"sync"
 
 	"querycentric/internal/catalog"
+	"querycentric/internal/dict"
 	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
 	"querycentric/internal/qrp"
 	"querycentric/internal/rng"
-	"querycentric/internal/terms"
 )
 
 // Addr is a synthetic peer address.
@@ -50,10 +50,22 @@ type Peer struct {
 	Neighbors []int // peer IDs of direct connections
 	Library   []File
 
-	// termIndex maps a token to the library indices of files containing it;
-	// built lazily (and concurrency-safely, since parallel floods may race
-	// to the first Match) by buildIndex under indexOnce.
+	// dict resolves tokens to TermIDs for the compact interned index: the
+	// network-wide dictionary when the network was built from a catalog,
+	// else a peer-local dictionary built lazily from the peer's own
+	// library. idx is the posting index over dict's IDs (see index.go).
+	dict *dict.Dict
+	idx  postingIndex
+
+	// termIndex is the pre-interning map-keyed index, built only when the
+	// network is switched to the legacy path (see UseLegacyStringIndex);
+	// retained as the reference implementation for the equivalence gate
+	// and the before/after memory benchmarks.
 	termIndex map[string][]int32
+	legacy    bool
+
+	// indexOnce guards lazy index construction (parallel floods may race
+	// to the first Match).
 	indexOnce sync.Once
 }
 
@@ -88,6 +100,11 @@ type Network struct {
 	Peers      []*Peer
 	firewalled []bool
 
+	// dict is the network-wide interned term dictionary, built once from
+	// the catalog all peers share (nil for networks assembled without one,
+	// and after UseLegacyStringIndex).
+	dict *dict.Dict
+
 	// qrpTables[p] is leaf p's query-route table, held by its ultrapeers;
 	// nil while QRP is disabled. qrpBits is the table width, recorded so
 	// floods can hash a query's criteria once instead of per edge.
@@ -103,7 +120,22 @@ type Network struct {
 // deployed leaves push to their ultrapeers. Floods then apply last-hop
 // filtering: an ultrapeer forwards a query to a leaf only if every query
 // keyword hits the leaf's table. Only meaningful on two-tier topologies.
+//
+// With an interned dictionary the tables are built from each leaf's posting
+// index: one precomputed hash per distinct library term, instead of
+// re-tokenizing and re-hashing every file name. The set of marked slots is
+// identical either way (duplicate keyword occurrences map to the same
+// slot), so routing decisions do not depend on the path taken.
 func (nw *Network) EnableQRP(bits uint) error {
+	if _, err := qrp.NewTable(bits); err != nil {
+		return err
+	}
+	interned := nw.dict != nil
+	if interned {
+		if err := nw.BuildIndexes(0); err != nil {
+			return err
+		}
+	}
 	tables := make([]*qrp.Table, len(nw.Peers))
 	for _, p := range nw.Peers {
 		if p.Ultrapeer {
@@ -113,8 +145,17 @@ func (nw *Network) EnableQRP(bits uint) error {
 		if err != nil {
 			return err
 		}
-		for _, f := range p.Library {
-			t.AddName(f.Name)
+		if interned && !p.legacy {
+			// p.dict is the shared dictionary unless this peer's library
+			// was mutated after construction and it fell back to a local
+			// one; either way idx.termIDs resolve against p.dict.
+			for _, id := range p.idx.termIDs {
+				t.AddSlot(p.dict.Slot(id, bits))
+			}
+		} else {
+			for _, f := range p.Library {
+				t.AddName(f.Name)
+			}
 		}
 		// The table travels encoded, as a leaf would ship it.
 		back, err := qrp.Decode(t.Encode())
@@ -179,8 +220,18 @@ func New(cfg Config, n int) (*Network, error) {
 
 // NewFromCatalog builds a network whose peers share the libraries of a
 // content catalog. The catalog must have been built for the same number of
-// peers the network will have.
+// peers the network will have. Dictionary construction fans out over
+// GOMAXPROCS workers; see NewFromCatalogWorkers.
 func NewFromCatalog(cfg Config, cat *catalog.Catalog) (*Network, error) {
+	return NewFromCatalogWorkers(cfg, cat, 0)
+}
+
+// NewFromCatalogWorkers is NewFromCatalog with an explicit worker bound for
+// the parallel construction phases (the interned term dictionary; peer
+// indexes stay lazy — see BuildIndexes). The built network is byte-identical
+// for every worker count: dictionary IDs are assigned in sorted term order
+// and the file-size draws stay on one sequential named stream.
+func NewFromCatalogWorkers(cfg Config, cat *catalog.Catalog, workers int) (*Network, error) {
 	nw, err := New(cfg, len(cat.Libraries))
 	if err != nil {
 		return nil, err
@@ -196,6 +247,10 @@ func NewFromCatalog(cfg Config, cat *catalog.Catalog) (*Network, error) {
 			}
 		}
 		nw.Peers[p].Library = files
+	}
+	nw.dict = dict.Build(cat.Libraries, workers)
+	for _, p := range nw.Peers {
+		p.dict = nw.dict
 	}
 	return nw, nil
 }
@@ -344,104 +399,6 @@ func (nw *Network) connected(a, b int) bool {
 		}
 	}
 	return false
-}
-
-// buildIndex builds the peer's token → file index.
-func (p *Peer) buildIndex() {
-	p.termIndex = make(map[string][]int32)
-	for i, f := range p.Library {
-		for tok := range terms.TokenSet(f.Name) {
-			p.termIndex[tok] = append(p.termIndex[tok], int32(i))
-		}
-	}
-}
-
-// Match returns the library files matching the query criteria under the
-// Gnutella keyword rule (every query token must appear in the file name).
-func (p *Peer) Match(criteria string) []File {
-	return p.matchTokens(TokenizeQuery(criteria))
-}
-
-// TokenizeQuery returns the deduped keyword list Match intersects, in
-// first-appearance order. Hoist it out of any loop that matches one query
-// against many peers (a flood matches every reached peer) and hand the
-// result to MatchTokens.
-func TokenizeQuery(criteria string) []string {
-	toks := terms.Tokenize(criteria)
-	if len(toks) < 2 {
-		return toks
-	}
-	// Dedupe (queries repeat terms); first appearance wins.
-	uniq := toks[:0]
-	seen := make(map[string]struct{}, len(toks))
-	for _, t := range toks {
-		if _, dup := seen[t]; !dup {
-			seen[t] = struct{}{}
-			uniq = append(uniq, t)
-		}
-	}
-	return uniq
-}
-
-// MatchTokens is Match with tokenization hoisted out: toks must come from
-// TokenizeQuery. The tokens are copied into scratch (grown as needed and
-// returned for reuse) before the rarest-first reorder, so one token list
-// can serve every peer of a flood.
-func (p *Peer) MatchTokens(toks, scratch []string) ([]File, []string) {
-	scratch = append(scratch[:0], toks...)
-	return p.matchTokens(scratch), scratch
-}
-
-// matchTokens intersects the peer's posting lists directly — rarest token
-// first, so the candidate set never grows — instead of re-tokenizing
-// candidate file names per query token; this sits on the flood hot path.
-// It reorders toks in place.
-func (p *Peer) matchTokens(toks []string) []File {
-	p.indexOnce.Do(p.buildIndex)
-	if len(toks) == 0 {
-		return nil
-	}
-	sort.Slice(toks, func(i, j int) bool {
-		return len(p.termIndex[toks[i]]) < len(p.termIndex[toks[j]])
-	})
-	cur := p.termIndex[toks[0]]
-	for _, tok := range toks[1:] {
-		if len(cur) == 0 {
-			return nil
-		}
-		cur = intersectPostings(cur, p.termIndex[tok])
-	}
-	if len(cur) == 0 {
-		return nil
-	}
-	out := make([]File, len(cur))
-	for i, idx := range cur {
-		out[i] = p.Library[idx]
-	}
-	return out
-}
-
-// intersectPostings intersects two ascending posting lists into a fresh
-// slice (the term index is never mutated).
-func intersectPostings(a, b []int32) []int32 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	out := make([]int32, 0, n)
-	for i, j := 0, 0; i < len(a) && j < len(b); {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
 }
 
 // Degrees returns the sorted degree sequence (for topology diagnostics).

@@ -1,0 +1,423 @@
+package gnet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"querycentric/internal/dict"
+	"querycentric/internal/parallel"
+	"querycentric/internal/terms"
+)
+
+// This file implements the interned-ID query path: per-peer posting indexes
+// keyed by dict.TermID instead of strings. A peer's index is three flat
+// arrays — sorted term IDs, offsets, and one shared postings arena — which
+// replaces the map[string][]int32 of the legacy path (index_legacy.go) at a
+// fraction of the retained heap and with integer comparisons on the match
+// hot path.
+
+// postingIndex is a peer's compact term → files index. Posting list k
+// (for termIDs[k]) is postings[offsets[k]:offsets[k+1]], ascending file
+// indices. offsets has len(termIDs)+1 entries.
+type postingIndex struct {
+	termIDs  []dict.TermID
+	offsets  []uint32
+	postings []int32
+}
+
+// lookup returns the arena window of id's posting list.
+func (ix *postingIndex) lookup(id dict.TermID) (lo, hi uint32, ok bool) {
+	i := sort.Search(len(ix.termIDs), func(k int) bool { return ix.termIDs[k] >= id })
+	if i == len(ix.termIDs) || ix.termIDs[i] != id {
+		return 0, 0, false
+	}
+	return ix.offsets[i], ix.offsets[i+1], true
+}
+
+// heapBytes is the index's retained heap (flat arrays only; the term
+// strings live in the shared dictionary).
+func (ix *postingIndex) heapBytes() uint64 {
+	return uint64(len(ix.termIDs))*4 + uint64(len(ix.offsets))*4 + uint64(len(ix.postings))*4
+}
+
+// termFile is one (term, file) incidence during index construction.
+type termFile struct {
+	id   dict.TermID
+	file int32
+}
+
+// buildPostings builds a posting index for lib against dictionary d. It
+// reports ok=false on the first token d does not know — the caller then
+// falls back to a peer-local dictionary (a library mutated after network
+// construction can contain terms the shared dictionary never saw).
+func buildPostings(d *dict.Dict, lib []File) (postingIndex, bool) {
+	pairs := make([]termFile, 0, len(lib)*4)
+	var fileIDs []dict.TermID // per-file dedupe scratch
+	for i, f := range lib {
+		fileIDs = fileIDs[:0]
+		for _, tok := range terms.Tokenize(f.Name) {
+			id, known := d.Lookup(tok)
+			if !known {
+				return postingIndex{}, false
+			}
+			dup := false
+			for _, prev := range fileIDs {
+				if prev == id {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			fileIDs = append(fileIDs, id)
+			pairs = append(pairs, termFile{id: id, file: int32(i)})
+		}
+	}
+	// Files were visited in ascending order, so sorting by (id, file) keeps
+	// every posting list ascending — the same order the legacy map path
+	// produces by appending file indices as it scans the library.
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].id != pairs[b].id {
+			return pairs[a].id < pairs[b].id
+		}
+		return pairs[a].file < pairs[b].file
+	})
+	var ix postingIndex
+	ix.postings = make([]int32, len(pairs))
+	ix.offsets = append(ix.offsets, 0)
+	for k := 0; k < len(pairs); {
+		id := pairs[k].id
+		ix.termIDs = append(ix.termIDs, id)
+		for k < len(pairs) && pairs[k].id == id {
+			ix.postings[k] = pairs[k].file
+			k++
+		}
+		ix.offsets = append(ix.offsets, uint32(k))
+	}
+	return ix, true
+}
+
+// libraryNames projects a library onto its file names.
+func libraryNames(lib []File) []string {
+	names := make([]string, len(lib))
+	for i, f := range lib {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// buildIndex builds the peer's term → file index (interned or legacy).
+// Always reached through indexOnce.
+func (p *Peer) buildIndex() {
+	if p.legacy {
+		p.buildLegacyIndex()
+		return
+	}
+	if p.dict == nil {
+		// Peer assembled without a catalog (tests, hand-built networks):
+		// intern against a dictionary of its own library.
+		p.dict = dict.FromNames(libraryNames(p.Library), 1)
+	}
+	idx, ok := buildPostings(p.dict, p.Library)
+	if !ok {
+		// The library gained names after construction; re-intern locally.
+		p.dict = dict.FromNames(libraryNames(p.Library), 1)
+		idx, _ = buildPostings(p.dict, p.Library)
+	}
+	p.idx = idx
+}
+
+// BuildIndexes eagerly builds every peer's index over up to `workers`
+// goroutines (≤ 0 resolves to GOMAXPROCS). Indexes are otherwise built
+// lazily on first Match; building them up front makes construction cost
+// measurable and keeps the first flood off the slow path. The result is
+// identical for every worker count: each peer's index depends only on its
+// own library and the shared dictionary.
+func (nw *Network) BuildIndexes(workers int) error {
+	return parallel.ForEach(workers, len(nw.Peers), func(i int) error {
+		p := nw.Peers[i]
+		p.indexOnce.Do(p.buildIndex)
+		return nil
+	})
+}
+
+// UseLegacyStringIndex switches the whole network to the pre-interning
+// map[string][]int32 index and string-keyed match path. Retained as the
+// reference implementation for equivalence tests and memory benchmarks.
+// Call before anything triggers index construction (Match, Flood,
+// EnableQRP, BuildIndexes); indexes already built stay as they are.
+func (nw *Network) UseLegacyStringIndex() {
+	nw.dict = nil
+	for _, p := range nw.Peers {
+		p.dict = nil
+		p.legacy = true
+	}
+}
+
+// TermDict returns the network-wide interned dictionary (nil for networks
+// without one — hand-assembled peers or after UseLegacyStringIndex).
+func (nw *Network) TermDict() *dict.Dict { return nw.dict }
+
+// Match returns the library files matching the query criteria under the
+// Gnutella keyword rule (every query token must appear in the file name).
+func (p *Peer) Match(criteria string) []File {
+	p.indexOnce.Do(p.buildIndex)
+	if p.legacy {
+		return p.matchTokensLegacy(TokenizeQuery(criteria))
+	}
+	toks := TokenizeQuery(criteria)
+	if len(toks) == 0 {
+		return nil
+	}
+	// Stack-sized scratch: real queries are a handful of terms, so the
+	// one-shot Match path avoids the flood context's reusable buffers
+	// without paying a heap allocation per call.
+	var idsBuf [8]dict.TermID
+	var s matchScratch
+	ids, ok := p.dict.Resolve(toks, idsBuf[:0])
+	if !ok {
+		return nil
+	}
+	return p.matchIDs(ids, &s)
+}
+
+// MatchTokens is Match with tokenization hoisted out: toks must come from
+// TokenizeQuery. scratch is grown as needed and returned for reuse across
+// calls (floods use the richer matchForFlood instead).
+func (p *Peer) MatchTokens(toks, scratch []string) ([]File, []string) {
+	p.indexOnce.Do(p.buildIndex)
+	if p.legacy {
+		scratch = append(scratch[:0], toks...)
+		return p.matchTokensLegacy(scratch), scratch
+	}
+	if len(toks) == 0 {
+		return nil, scratch
+	}
+	ids, ok := p.dict.Resolve(toks, nil)
+	if !ok {
+		return nil, scratch
+	}
+	var s matchScratch
+	return p.matchIDs(ids, &s), scratch
+}
+
+// matchForFlood matches one flood's query against this peer. d and qids are
+// the flood's hoisted dictionary and resolved term IDs (d == nw.dict); toks
+// are the deduped string tokens for peers that cannot use qids — legacy
+// peers, and peers whose mutated library forced a local dictionary.
+func (p *Peer) matchForFlood(d *dict.Dict, qids []dict.TermID, toks []string, s *matchScratch) []File {
+	p.indexOnce.Do(p.buildIndex)
+	if p.legacy {
+		s.str = append(s.str[:0], toks...)
+		return p.matchTokensLegacy(s.str)
+	}
+	ids := qids
+	if p.dict != d {
+		var ok bool
+		s.ids, ok = p.dict.Resolve(toks, s.ids[:0])
+		if !ok {
+			return nil
+		}
+		ids = s.ids
+	}
+	return p.matchIDs(ids, s)
+}
+
+// termSel is one query term's posting window during a match.
+type termSel struct {
+	lo, n uint32
+}
+
+// matchScratch is per-flood match state, reused across every reached peer.
+type matchScratch struct {
+	ids []dict.TermID
+	sel []termSel
+	str []string
+}
+
+// matchIDs intersects the posting lists of ids, rarest term first so the
+// candidate set never grows. Any id missing from the index (including
+// NoTerm) matches nothing — the conjunctive rule.
+func (p *Peer) matchIDs(ids []dict.TermID, s *matchScratch) []File {
+	if len(ids) == 0 {
+		return nil
+	}
+	s.sel = s.sel[:0]
+	for _, id := range ids {
+		lo, hi, ok := p.idx.lookup(id)
+		if !ok {
+			return nil
+		}
+		s.sel = append(s.sel, termSel{lo: lo, n: hi - lo})
+	}
+	sel := s.sel
+	// Insertion sort by posting-list length: queries have a handful of
+	// terms, and this replaces the legacy sort.Slice on strings.
+	for i := 1; i < len(sel); i++ {
+		for j := i; j > 0 && sel[j].n < sel[j-1].n; j-- {
+			sel[j], sel[j-1] = sel[j-1], sel[j]
+		}
+	}
+	cur := p.idx.postings[sel[0].lo : sel[0].lo+sel[0].n]
+	for _, w := range sel[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = intersectPostings(cur, p.idx.postings[w.lo:w.lo+w.n])
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]File, len(cur))
+	for i, idx := range cur {
+		out[i] = p.Library[idx]
+	}
+	return out
+}
+
+// intersectPostings intersects two ascending posting lists into a fresh
+// slice (the index arenas are never mutated).
+func intersectPostings(a, b []int32) []int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int32, 0, n)
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// smallQueryDedupe is the token count below which TokenizeQuery dedupes
+// with a quadratic scan instead of allocating a map — real queries are a
+// few keywords, and the scan beats the map allocation there.
+const smallQueryDedupe = 12
+
+// TokenizeQuery returns the deduped keyword list the match path intersects,
+// in first-appearance order. Hoist it out of any loop that matches one
+// query against many peers (a flood matches every reached peer).
+func TokenizeQuery(criteria string) []string {
+	toks := terms.Tokenize(criteria)
+	if len(toks) < 2 {
+		return toks
+	}
+	if len(toks) <= smallQueryDedupe {
+		return dedupeLinear(toks)
+	}
+	return dedupeMap(toks)
+}
+
+// dedupeLinear dedupes in place by scanning the kept prefix; first
+// appearance wins.
+func dedupeLinear(toks []string) []string {
+	uniq := toks[:1]
+	for _, t := range toks[1:] {
+		dup := false
+		for _, u := range uniq {
+			if t == u {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, t)
+		}
+	}
+	return uniq
+}
+
+// dedupeMap dedupes with a set; first appearance wins.
+func dedupeMap(toks []string) []string {
+	uniq := toks[:0]
+	seen := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			uniq = append(uniq, t)
+		}
+	}
+	return uniq
+}
+
+// IndexStats summarizes the network's term-index footprint.
+type IndexStats struct {
+	Peers      int    // peers in the network
+	DictTerms  int    // distinct terms in the shared dictionary (0 if none)
+	IndexTerms int    // total distinct (peer, term) pairs
+	Postings   int    // total posting entries across all peers
+	HeapBytes  uint64 // estimated retained bytes: peer indexes + shared dictionary
+}
+
+// IndexStats builds all indexes (sequentially if not already built) and
+// returns their footprint. Legacy-path networks report the map-based
+// estimate: per-entry map overhead plus key headers plus posting slices —
+// an undercount, since legacy keys also pin lowered copies of file names.
+func (nw *Network) IndexStats() (IndexStats, error) {
+	if err := nw.BuildIndexes(0); err != nil {
+		return IndexStats{}, err
+	}
+	st := IndexStats{Peers: len(nw.Peers)}
+	if nw.dict != nil {
+		st.DictTerms = nw.dict.Len()
+		st.HeapBytes += nw.dict.HeapBytes()
+	}
+	for _, p := range nw.Peers {
+		if p.legacy {
+			for tok, posts := range p.termIndex {
+				st.IndexTerms++
+				st.Postings += len(posts)
+				// key header + bytes, slice header + data, ~map bucket share.
+				st.HeapBytes += 16 + uint64(len(tok)) + 24 + uint64(len(posts))*4 + 16
+			}
+			continue
+		}
+		st.IndexTerms += len(p.idx.termIDs)
+		st.Postings += len(p.idx.postings)
+		st.HeapBytes += p.idx.heapBytes()
+	}
+	return st, nil
+}
+
+// IndexChecksum builds all indexes and folds the dictionary plus every
+// peer's flat index into one FNV-1a fingerprint — the worker-count
+// determinism gate for parallel construction.
+func (nw *Network) IndexChecksum() (uint64, error) {
+	if err := nw.BuildIndexes(0); err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	if nw.dict != nil {
+		put(nw.dict.Checksum())
+		put(uint64(nw.dict.Len()))
+	}
+	for _, p := range nw.Peers {
+		put(uint64(len(p.idx.termIDs)))
+		for _, id := range p.idx.termIDs {
+			put(uint64(id))
+		}
+		for _, off := range p.idx.offsets {
+			put(uint64(off))
+		}
+		for _, post := range p.idx.postings {
+			put(uint64(uint32(post)))
+		}
+	}
+	return h.Sum64(), nil
+}

@@ -1,0 +1,50 @@
+package gnet
+
+import (
+	"sort"
+
+	"querycentric/internal/terms"
+)
+
+// The pre-interning string-keyed index and match path, switched on by
+// Network.UseLegacyStringIndex. Kept as the reference implementation: the
+// equivalence gate in index_equiv_test.go floods the same network down both
+// paths and requires identical FloodResults, and qc-bench measures the two
+// paths' retained heap and match latency against each other.
+
+// buildLegacyIndex builds the peer's token → file map index.
+func (p *Peer) buildLegacyIndex() {
+	p.termIndex = make(map[string][]int32)
+	for i, f := range p.Library {
+		for tok := range terms.TokenSet(f.Name) {
+			p.termIndex[tok] = append(p.termIndex[tok], int32(i))
+		}
+	}
+}
+
+// matchTokensLegacy intersects the peer's posting lists rarest token first.
+// It reorders toks in place; callers pass a scratch copy. The index must
+// already be built (callers go through indexOnce).
+func (p *Peer) matchTokensLegacy(toks []string) []File {
+	if len(toks) == 0 {
+		return nil
+	}
+	sort.Slice(toks, func(i, j int) bool {
+		return len(p.termIndex[toks[i]]) < len(p.termIndex[toks[j]])
+	})
+	cur := p.termIndex[toks[0]]
+	for _, tok := range toks[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = intersectPostings(cur, p.termIndex[tok])
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]File, len(cur))
+	for i, idx := range cur {
+		out[i] = p.Library[idx]
+	}
+	return out
+}

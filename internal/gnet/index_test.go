@@ -1,0 +1,343 @@
+package gnet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/faults"
+	"querycentric/internal/rng"
+)
+
+// legacyTwin rebuilds the same populated network switched to the
+// pre-interning string-keyed index, for path-equivalence comparisons.
+func legacyTwin(t *testing.T, peers int) *Network {
+	t.Helper()
+	nw := populatedNet(t, peers)
+	nw.UseLegacyStringIndex()
+	return nw
+}
+
+// TestFloodMatchesLegacyStringIndex is the interning equivalence gate: the
+// interned-ID match path must return FloodResults identical — hits, order,
+// messages — to the retained string path, on plain, QRP and lossy networks.
+func TestFloodMatchesLegacyStringIndex(t *testing.T) {
+	for _, mode := range []string{"plain", "qrp", "lossy"} {
+		t.Run(mode, func(t *testing.T) {
+			interned := populatedNet(t, 180)
+			legacy := legacyTwin(t, 180)
+			switch mode {
+			case "qrp":
+				for _, nw := range []*Network{interned, legacy} {
+					if err := nw.EnableQRP(16); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case "lossy":
+				for _, nw := range []*Network{interned, legacy} {
+					nw.SetFaults(faults.New(faults.Config{Seed: 11, MessageLoss: 0.2, PeerDepart: 0.1}))
+				}
+			}
+			ictx, lctx := interned.NewFloodCtx(), legacy.NewFloodCtx()
+			for trial := 0; trial < 30; trial++ {
+				origin := trial * 7 % len(interned.Peers)
+				criteria := fileOf(t, interned, trial*13+2)
+				if trial%5 == 0 {
+					// Also exercise the mismatch case down both paths.
+					criteria += " zqxjkwv"
+				}
+				want, err := lctx.Flood(origin, criteria, 4, rng.New(uint64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ictx.Flood(origin, criteria, 4, rng.New(uint64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s trial %d (%q): interned flood diverged from legacy:\n%+v\nvs\n%+v",
+						mode, trial, criteria, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMatchEquivalentToLegacy spot-checks Peer.Match itself across paths,
+// including multi-token and repeated-token criteria.
+func TestMatchEquivalentToLegacy(t *testing.T) {
+	interned := populatedNet(t, 120)
+	legacy := legacyTwin(t, 120)
+	for i, p := range interned.Peers {
+		if len(p.Library) == 0 {
+			continue
+		}
+		name := p.Library[len(p.Library)/2].Name
+		for _, criteria := range []string{name, name + " " + name, "track", ""} {
+			got := p.Match(criteria)
+			want := legacy.Peers[i].Match(criteria)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("peer %d Match(%q): interned %v vs legacy %v", i, criteria, got, want)
+			}
+		}
+	}
+}
+
+// TestMatchUnknownTerm covers the paper's query/annotation mismatch: a
+// query term absent from every library resolves to NoTerm and must
+// short-circuit to zero hits without panicking — alone, and conjoined with
+// terms that do exist.
+func TestMatchUnknownTerm(t *testing.T) {
+	nw := populatedNet(t, 60)
+	known := fileOf(t, nw, 3)
+	for _, criteria := range []string{
+		"zqxjkwv",
+		known + " zqxjkwv",
+		"zqxjkwv qqqqzz",
+	} {
+		for _, p := range nw.Peers {
+			if files := p.Match(criteria); files != nil {
+				t.Fatalf("Match(%q) on peer %d = %v, want nil", criteria, p.ID, files)
+			}
+		}
+		res, err := nw.Flood(0, criteria, 4, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalResults != 0 || len(res.Hits) != 0 {
+			t.Fatalf("Flood(%q) found %d results, want 0", criteria, res.TotalResults)
+		}
+		if res.PeersReached == 0 || res.Messages == 0 {
+			t.Fatalf("Flood(%q) did not spread (reached %d, messages %d); the query must still flood",
+				criteria, res.PeersReached, res.Messages)
+		}
+	}
+}
+
+// TestMatchEmptyCriteria: no keywords, no matches, down both paths.
+func TestMatchEmptyCriteria(t *testing.T) {
+	interned := populatedNet(t, 40)
+	legacy := legacyTwin(t, 40)
+	for _, nw := range []*Network{interned, legacy} {
+		for _, criteria := range []string{"", "  ", "!!", "a"} { // below MinTokenLength too
+			if files := nw.Peers[1].Match(criteria); files != nil {
+				t.Fatalf("Match(%q) = %v, want nil", criteria, files)
+			}
+			res, err := nw.Flood(0, criteria, 3, rng.New(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalResults != 0 {
+				t.Fatalf("Flood(%q) returned %d results, want 0", criteria, res.TotalResults)
+			}
+		}
+	}
+}
+
+// TestLocalDictFallback plants a file whose tokens the shared dictionary
+// has never seen after network construction; the peer must fall back to a
+// peer-local dictionary and still answer.
+func TestLocalDictFallback(t *testing.T) {
+	nw := populatedNet(t, 40)
+	p := nw.Peers[5]
+	p.Library = append(p.Library, File{
+		Index: uint32(len(p.Library)), Size: 99, Name: "Zzzz Novel Tokens Everywhere.mp3",
+	})
+	files := p.Match("novel tokens")
+	if len(files) != 1 || files[0].Name != "Zzzz Novel Tokens Everywhere.mp3" {
+		t.Fatalf("Match on mutated library = %v, want the planted file", files)
+	}
+	if p.dict == nw.dict {
+		t.Fatal("peer did not fall back to a local dictionary")
+	}
+	// The flood path must also find it (peer re-resolves query tokens
+	// against its local dictionary).
+	res, err := nw.Flood(0, "novel tokens everywhere", 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range res.Hits {
+		if h.PeerID == 5 {
+			found = true
+		}
+	}
+	if !found && res.PeersReached >= len(nw.Peers)-1 {
+		t.Fatalf("flood reached %d peers but missed the planted file", res.PeersReached)
+	}
+}
+
+// TestTokenizeQueryDedupe pins the dedupe semantics across the linear and
+// map strategies: first appearance wins, order preserved.
+func TestTokenizeQueryDedupe(t *testing.T) {
+	cases := []struct {
+		criteria string
+		want     []string
+	}{
+		{"beta alpha beta gamma alpha", []string{"beta", "alpha", "gamma"}},
+		{"one two three", []string{"one", "two", "three"}},
+		{"dup dup dup", []string{"dup"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := TokenizeQuery(c.criteria)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("TokenizeQuery(%q) = %v, want %v", c.criteria, got, c.want)
+		}
+	}
+	// Above the linear threshold the map path must agree with the scan.
+	long := make([]string, 0, smallQueryDedupe+6)
+	for i := 0; i < smallQueryDedupe+6; i++ {
+		long = append(long, fmt.Sprintf("tok%02d", i%7))
+	}
+	criteria := strings.Join(long, " ")
+	got := TokenizeQuery(criteria)
+	want := dedupeMap(terms2(criteria))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("long-query dedupe diverged: %v vs %v", got, want)
+	}
+	if len(got) != 7 {
+		t.Fatalf("long-query dedupe kept %d tokens, want 7", len(got))
+	}
+}
+
+// terms2 re-tokenizes without dedupe (mirrors terms.Tokenize for the test).
+func terms2(criteria string) []string {
+	return strings.Fields(strings.ToLower(criteria))
+}
+
+// TestIndexChecksumWorkerInvariance: parallel index construction must be
+// byte-identical to sequential (same dictionary, same flat arrays).
+func TestIndexChecksumWorkerInvariance(t *testing.T) {
+	base := populatedNet(t, 90)
+	if err := base.BuildIndexes(1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.IndexChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		nw := populatedNet(t, 90)
+		if err := nw.BuildIndexes(w); err != nil {
+			t.Fatal(err)
+		}
+		got, err := nw.IndexChecksum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d index checksum %x, want %x", w, got, want)
+		}
+	}
+}
+
+// TestIndexStatsShrink pins the memory claim at test scale: the interned
+// index estimate must be well under the legacy map estimate.
+func TestIndexStatsShrink(t *testing.T) {
+	interned := populatedNet(t, 120)
+	legacy := legacyTwin(t, 120)
+	si, err := interned.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := legacy.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.IndexTerms != sl.IndexTerms || si.Postings != sl.Postings {
+		t.Fatalf("paths disagree on index contents: %+v vs %+v", si, sl)
+	}
+	if si.DictTerms == 0 || si.HeapBytes == 0 {
+		t.Fatalf("interned stats empty: %+v", si)
+	}
+	if si.HeapBytes >= sl.HeapBytes {
+		t.Fatalf("interned index (%d B) not smaller than legacy (%d B)", si.HeapBytes, sl.HeapBytes)
+	}
+}
+
+// BenchmarkTokenizeQuery measures the small-query dedupe strategies; the
+// linear scan avoids the map allocation that dominated 2–3-token queries.
+func BenchmarkTokenizeQuery(b *testing.B) {
+	queries := map[string]string{
+		"2tok":  "artist song",
+		"3tok":  "artist song remix",
+		"3dup":  "song song artist",
+		"12tok": "a1 b2 c3 d4 e5 f6 g7 h8 i9 j10 k11 l12",
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TokenizeQuery(q)
+			}
+		})
+	}
+}
+
+// BenchmarkDedupe isolates the two strategies on identical token counts.
+func BenchmarkDedupe(b *testing.B) {
+	toks := []string{"artist", "song", "remix"}
+	scratch := make([]string, 3)
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, toks)
+			dedupeLinear(scratch)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, toks)
+			dedupeMap(scratch)
+		}
+	})
+}
+
+// BenchmarkMatchLegacy is BenchmarkMatch on the retained string path (the
+// before side of the interning speedup).
+func BenchmarkMatchLegacy(b *testing.B) {
+	nw := benchNetLegacy(b, 50)
+	criteria := make([]string, 0, 64)
+	for _, p := range nw.Peers {
+		if len(p.Library) > 0 {
+			criteria = append(criteria, p.Library[0].Name)
+			if len(criteria) == 64 {
+				break
+			}
+		}
+	}
+	p := nw.Peers[7]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Match(criteria[i%len(criteria)])
+	}
+}
+
+// benchNetLegacy is benchNet switched to the string index before warmup.
+func benchNetLegacy(b *testing.B, peers int) *Network {
+	b.Helper()
+	cat, err := catalog.Build(catalog.Config{
+		Seed: 5, Peers: peers, UniqueObjects: peers * 25, ReplicaAlpha: 2.45,
+		VariantProb: 0.05, NonSpecificPeerFrac: 0.03,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := NewFromCatalog(DefaultConfig(5), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.UseLegacyStringIndex()
+	for _, p := range nw.Peers {
+		p.Match("warmup")
+	}
+	return nw
+}

@@ -26,6 +26,14 @@ const DefaultBits = 16
 // by the golden-ratio constant 0x4F1BBCDC, and keep the top bits — the
 // function deployed clients agreed on so tables compose across vendors.
 func Hash(word string, bits uint) uint32 {
+	return SlotOf(HashProduct(word), bits)
+}
+
+// HashProduct is the table-width-independent half of Hash: the folded,
+// multiplied 32-bit product before the final shift. A term dictionary
+// computes it once per interned term; SlotOf then derives the slot for any
+// table width without touching the string again.
+func HashProduct(word string) uint32 {
 	var x uint32
 	j := uint(0)
 	for i := 0; i < len(word); i++ {
@@ -36,7 +44,11 @@ func Hash(word string, bits uint) uint32 {
 		x ^= uint32(c) << (j * 8)
 		j = (j + 1) & 3
 	}
-	prod := x * 0x4F1BBCDC
+	return x * 0x4F1BBCDC
+}
+
+// SlotOf converts a HashProduct into the slot index of a 2^bits-slot table.
+func SlotOf(prod uint32, bits uint) uint32 {
 	return prod >> (32 - bits)
 }
 
@@ -64,8 +76,14 @@ func (t *Table) N() int { return t.n }
 
 // AddKeyword marks one keyword.
 func (t *Table) AddKeyword(word string) {
-	h := Hash(word, t.bits)
-	t.slots[h/64] |= 1 << (h % 64)
+	t.AddSlot(Hash(word, t.bits))
+}
+
+// AddSlot marks a pre-hashed slot (from Hash or SlotOf at this table's bit
+// width). Interned-dictionary callers use it to build tables without
+// re-hashing term strings.
+func (t *Table) AddSlot(slot uint32) {
+	t.slots[slot/64] |= 1 << (slot % 64)
 	t.n++
 }
 

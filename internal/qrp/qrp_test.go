@@ -202,3 +202,40 @@ func BenchmarkMatchesQuery(b *testing.B) {
 		tab.MatchesQuery("kw123 kw456")
 	}
 }
+
+func TestHashSplitsIntoProductAndSlot(t *testing.T) {
+	words := []string{"artist", "SONG", "Remix", "a", "zz99", "Track.wma"}
+	for _, w := range words {
+		prod := HashProduct(w)
+		for _, bits := range []uint{1, 8, 16, 24} {
+			if got, want := SlotOf(prod, bits), Hash(w, bits); got != want {
+				t.Fatalf("SlotOf(HashProduct(%q), %d) = %d, Hash = %d", w, bits, got, want)
+			}
+		}
+	}
+	// Case folding happens in the product, so folded pairs share one.
+	if HashProduct("SoNg") != HashProduct("song") {
+		t.Fatal("HashProduct is not case-folded")
+	}
+}
+
+func TestAddSlotMatchesAddKeyword(t *testing.T) {
+	byKeyword, _ := NewTable(16)
+	bySlot, _ := NewTable(16)
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for _, w := range words {
+		byKeyword.AddKeyword(w)
+		bySlot.AddSlot(Hash(w, 16))
+	}
+	for _, w := range words {
+		if !bySlot.contains(w) {
+			t.Fatalf("AddSlot table missing %q", w)
+		}
+	}
+	if byKeyword.N() != bySlot.N() {
+		t.Fatalf("N mismatch: %d vs %d", byKeyword.N(), bySlot.N())
+	}
+	if byKeyword.FillRatio() != bySlot.FillRatio() {
+		t.Fatal("fill ratios diverge between AddKeyword and AddSlot")
+	}
+}
