@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench scalefull-smoke ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench scalefull-smoke api-freeze obs-overhead-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,11 @@ race:
 
 # Byte-identical results at 1 vs 8 workers across the experiment runners,
 # including the ChurnRepair repair timeline (the golden determinism check
-# on overlay maintenance).
+# on overlay maintenance), plus the observability-plane contract: attaching
+# metrics never changes results, and enabled-metrics snapshots/manifest
+# fingerprints are identical at any worker count.
 determinism:
-	$(GO) test -race -run TestWorkerCountDoesNotChangeResults ./internal/experiments/
+	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance' ./internal/experiments/
 
 # Short fuzz of the wire-message decoder: five seconds of mutation over the
 # seeded descriptor corpus must surface no panics or over-reads.
@@ -45,10 +47,23 @@ scalefull-smoke:
 	$(GO) run ./cmd/qc-bench -index-only -index-scale full -index-legacy=false \
 		-budget 10m -o out/BENCH_index_full.json
 
+# Regenerate-and-diff check on the frozen public API surface (API.txt).
+# Regenerate after an intentional API change with:
+#   go test -run TestAPIFrozen -update-api .
+api-freeze:
+	$(GO) test -run 'TestAPIFrozen|TestNoInternalImportsOutsideFacade' .
+
+# Metrics-overhead smoke: the flood hot path with a live registry attached
+# must stay within 10% of the detached baseline (or the recorded flood_ctx
+# row in BENCH_flood.json, whichever is looser).
+obs-overhead-smoke:
+	$(GO) run ./cmd/qc-bench -obs-overhead -peers 500 -benchtime 100ms
+
 # The CI gate: static checks, formatting, a clean build, the full suite
 # under the race detector, the workers=8 determinism regression, the
-# decoder fuzz smoke and the paper-scale construction smoke.
-ci: vet fmt-check build race determinism fuzz-smoke scalefull-smoke
+# decoder fuzz smoke, the API freeze, the metrics-overhead smoke and the
+# paper-scale construction smoke.
+ci: vet fmt-check build race determinism fuzz-smoke api-freeze obs-overhead-smoke scalefull-smoke
 
 check: ci
 

@@ -1,0 +1,129 @@
+// API freeze: the exported surface of package querycentric is pinned in
+// API.txt. Any change to the public API fails this test until API.txt is
+// regenerated (and the change therefore shows up in review):
+//
+//	go test -run TestAPIFrozen -update-api
+package querycentric_test
+
+import (
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite API.txt with the current exported surface")
+
+// apiSurface type-checks package querycentric from its compiled export
+// data and renders one sorted line per exported object (plus the exported
+// method sets of the named types the root package exposes).
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-deps", "-export", "-f", "{{.ImportPath}}={{.Export}}", ".").Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("go list -export: %v\n%s", err, ee.Stderr)
+		}
+		t.Fatalf("go list -export: %v", err)
+	}
+	exports := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, file, ok := strings.Cut(line, "=")
+		if ok && file != "" {
+			exports[path] = file
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := imp.Import("querycentric")
+	if err != nil {
+		t.Fatalf("importing querycentric: %v", err)
+	}
+
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		lines = append(lines, types.ObjectString(obj, qual))
+		// Pin the exported method set reachable through each type name,
+		// so renaming a method on an internal type re-exported via an
+		// alias still changes the frozen surface.
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if _, ok := tn.Type().Underlying().(*types.Interface); ok {
+			continue // methods already printed in the interface type
+		}
+		ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if !m.Exported() {
+				continue
+			}
+			sig := types.TypeString(m.Type(), qual)
+			lines = append(lines, fmt.Sprintf("method (%s) %s%s", name, m.Name(), strings.TrimPrefix(sig, "func")))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestAPIFrozen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("API freeze shells out to go list; skipped in -short mode")
+	}
+	got := apiSurface(t)
+	if *updateAPI {
+		if err := os.WriteFile("API.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("API.txt updated (%d lines)", strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile("API.txt")
+	if err != nil {
+		t.Fatalf("reading API.txt (regenerate with -update-api): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+	gotSet := map[string]bool{}
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			t.Errorf("removed from API: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			t.Errorf("added to API: %s", l)
+		}
+	}
+	t.Error("public API changed; review the diff and regenerate with: go test -run TestAPIFrozen -update-api")
+}

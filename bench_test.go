@@ -10,9 +10,6 @@ import (
 	"testing"
 
 	qc "querycentric"
-	"querycentric/internal/catalog"
-	"querycentric/internal/gnet"
-	"querycentric/internal/rng"
 )
 
 // benchEnv returns an environment whose shared artifacts are already
@@ -149,14 +146,14 @@ func BenchmarkFig8Parallel(b *testing.B) {
 // allocation win of the epoch-stamped scratch visible.
 func BenchmarkFloodOnce(b *testing.B) {
 	const peers = 2000
-	cat, err := catalog.Build(catalog.Config{
+	cat, err := qc.BuildCatalog(qc.CatalogConfig{
 		Seed: 5, Peers: peers, UniqueObjects: peers * 25, ReplicaAlpha: 2.45,
 		VariantProb: 0.05, NonSpecificPeerFrac: 0.03,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	nw, err := gnet.NewFromCatalog(gnet.DefaultConfig(5), cat)
+	nw, err := qc.NewNetworkFromCatalog(qc.DefaultNetworkConfig(5), cat)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -171,7 +168,7 @@ func BenchmarkFloodOnce(b *testing.B) {
 		p.Match("warmup") // build term indexes outside the timer
 	}
 	ctx := nw.NewFloodCtx()
-	r := rng.New(1)
+	r := qc.NewRNG(1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	qc "querycentric"
+	"querycentric/internal/cliflags"
 )
 
 func main() {
@@ -28,14 +29,20 @@ func main() {
 		crawlIn  = flag.String("crawl", "", "object trace (mismatch mode)")
 		sanitize = flag.Bool("sanitize", false, "sanitize names (replicas mode, Figure 2)")
 		interval = flag.Int64("interval", 3600, "evaluation interval in seconds")
+		obsFlags = cliflags.AddObs(flag.CommandLine, "qc-analyze")
 	)
 	flag.Parse()
 	if *in == "" {
 		fail(fmt.Errorf("missing -in"))
 	}
+	if err := cliflags.CheckPositiveSeconds("-interval", *interval); err != nil {
+		fail(err)
+	}
+	reg, _ := obsFlags.Setup()
 	switch *mode {
 	case "replicas", "terms":
 		tr := readObjects(*in)
+		reg.Gauge("analyze_object_records").Set(int64(len(tr.Records)))
 		var rep *qc.DistReport
 		if *mode == "terms" {
 			rep = qc.TermPeers(tr)
@@ -50,6 +57,7 @@ func main() {
 		}
 	case "annotations":
 		tr := readSongs(*in)
+		reg.Gauge("analyze_song_records").Set(int64(len(tr.Records)))
 		for _, a := range []qc.Annotation{qc.AnnotationSong, qc.AnnotationGenre, qc.AnnotationAlbum, qc.AnnotationArtist} {
 			rep, err := qc.Annotations(tr, a)
 			if err != nil {
@@ -60,6 +68,7 @@ func main() {
 		}
 	case "stability":
 		qt := readQueries(*in)
+		reg.Gauge("analyze_query_records").Set(int64(len(qt.Records)))
 		cfg := qc.DefaultIntervalConfig()
 		cfg.Interval = *interval
 		ivs, err := qc.Intervals(qt, cfg)
@@ -76,6 +85,8 @@ func main() {
 		}
 		qt := readQueries(*in)
 		tr := readObjects(*crawlIn)
+		reg.Gauge("analyze_query_records").Set(int64(len(qt.Records)))
+		reg.Gauge("analyze_object_records").Set(int64(len(tr.Records)))
 		cfg := qc.DefaultIntervalConfig()
 		cfg.Interval = *interval
 		ivs, err := qc.Intervals(qt, cfg)
@@ -90,6 +101,7 @@ func main() {
 		}
 	case "transients":
 		qt := readQueries(*in)
+		reg.Gauge("analyze_query_records").Set(int64(len(qt.Records)))
 		pts, err := qc.Transients(qt, *interval, qc.DefaultTransientConfig())
 		if err != nil {
 			fail(err)
@@ -102,6 +114,11 @@ func main() {
 		}
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if path, err := obsFlags.WriteManifest(*mode, "", 0, 1); err != nil {
+		fail(err)
+	} else if path != "" {
+		fmt.Fprintf(os.Stderr, "qc-analyze: wrote %s\n", path)
 	}
 }
 

@@ -20,10 +20,17 @@
 // paper-scale construction smoke (`make scalefull-smoke`), which fails if
 // construction exceeds -budget.
 //
+// With -obs-overhead the command instead runs the observability-plane
+// overhead smoke: the flood micro-benchmark once with the metrics plane
+// detached and once with a live registry attached, failing (exit 1) if the
+// instrumented flood is more than 10% slower than both the detached
+// same-run baseline and the flood_ctx row recorded in -o (when present).
+//
 // Usage:
 //
 //	qc-bench -o BENCH_flood.json -scale tiny
 //	qc-bench -index-only -index-scale full -index-legacy=false -budget 15m
+//	qc-bench -obs-overhead -peers 500 -benchtime 100ms
 package main
 
 import (
@@ -37,9 +44,11 @@ import (
 
 	qc "querycentric"
 	"querycentric/internal/catalog"
+	"querycentric/internal/cliflags"
 	"querycentric/internal/experiments"
 	"querycentric/internal/gmsg"
 	"querycentric/internal/gnet"
+	"querycentric/internal/obs"
 	"querycentric/internal/rng"
 )
 
@@ -122,16 +131,26 @@ type Report struct {
 func main() {
 	testing.Init() // register -test.* flags so benchtime is adjustable
 	var (
-		out        = flag.String("o", "BENCH_flood.json", "output file")
-		peers      = flag.Int("peers", 2000, "network size for the flood micro-benchmark")
-		scaleName  = flag.String("scale", "tiny", "scale for the Fig8 worker sweep (tiny|small|default|full)")
-		benchtime  = flag.Duration("benchtime", time.Second, "target duration per micro-benchmark")
-		indexScale = flag.String("index-scale", "default", "scale for the index build/memory section (tiny|small|default|full)")
-		indexOnly  = flag.Bool("index-only", false, "run only the index section (the ScaleFull construction smoke)")
-		indexLegac = flag.Bool("index-legacy", true, "also build the legacy string index for a before/after comparison")
-		budget     = flag.Duration("budget", 0, "fail if the index section's construction phases exceed this wall-clock budget (0 = no budget)")
+		out         = flag.String("o", "BENCH_flood.json", "output file")
+		peers       = flag.Int("peers", 2000, "network size for the flood micro-benchmark")
+		scaleName   = cliflags.AddScale(flag.CommandLine, "tiny")
+		seed        = cliflags.AddSeed(flag.CommandLine)
+		benchtime   = flag.Duration("benchtime", time.Second, "target duration per micro-benchmark")
+		indexScale  = flag.String("index-scale", "default", "scale for the index build/memory section (tiny|small|default|full)")
+		indexOnly   = flag.Bool("index-only", false, "run only the index section (the ScaleFull construction smoke)")
+		indexLegac  = flag.Bool("index-legacy", true, "also build the legacy string index for a before/after comparison")
+		budget      = flag.Duration("budget", 0, "fail if the index section's construction phases exceed this wall-clock budget (0 = no budget)")
+		obsOverhead = flag.Bool("obs-overhead", false, "run only the observability-plane overhead smoke (exit 1 if instrumented floods are >10% slower)")
 	)
 	flag.Parse()
+	if err := cliflags.CheckPositive("-peers", *peers); err != nil {
+		fail(err)
+	}
+
+	if *obsOverhead {
+		runObsOverhead(*peers, *benchtime, *out)
+		return
+	}
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
@@ -184,7 +203,7 @@ func main() {
 		}
 		rep.Fig8Scale = *scaleName
 		for _, workers := range []int{1, 2, 4, 8} {
-			env := qc.NewEnv(scale, 42)
+			env := qc.NewEnv(scale, *seed)
 			env.Workers = workers
 			start := time.Now()
 			f8, err := qc.Fig8(env)
@@ -202,7 +221,7 @@ func main() {
 		}
 	}
 
-	ib, err := runIndexBench(*indexScale, *indexLegac, *budget, *benchtime)
+	ib, err := runIndexBench(*indexScale, *seed, *indexLegac, *budget, *benchtime)
 	if err != nil {
 		fail(err)
 	}
@@ -237,7 +256,7 @@ func heapUsed() uint64 {
 // at one scale: catalog build, network+dictionary build, eager index build,
 // heap-in-use around each phase, and optionally the legacy string index
 // built from the same catalog plus a match micro-benchmark down both paths.
-func runIndexBench(scaleName string, withLegacy bool, budget, benchtime time.Duration) (*IndexBench, error) {
+func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, benchtime time.Duration) (*IndexBench, error) {
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
 		return nil, err
@@ -248,10 +267,10 @@ func runIndexBench(scaleName string, withLegacy bool, budget, benchtime time.Dur
 		WithinBudget: true,
 	}
 	ccfg := catalog.Config{
-		Seed: 42, Peers: par.GnutellaPeers, UniqueObjects: par.UniqueObjects,
+		Seed: seed, Peers: par.GnutellaPeers, UniqueObjects: par.UniqueObjects,
 		ReplicaAlpha: 2.45, VariantProb: 0.08, NonSpecificPeerFrac: 0.05,
 	}
-	gcfg := gnet.DefaultConfig(42)
+	gcfg := gnet.DefaultConfig(seed)
 	gcfg.FirewalledFrac = par.FirewalledFrac
 
 	fmt.Fprintf(os.Stderr, "qc-bench: index section, scale %s (%d peers, %d objects)\n",
@@ -478,6 +497,75 @@ func floodBaseline(nw *gnet.Network, origin int, criteria string, ttl int, r *rn
 		frontier = next
 	}
 	return res, nil
+}
+
+// runObsOverhead is the `make ci` metrics-overhead smoke: it benchmarks
+// the optimised flood once with the observability plane detached and once
+// with a live registry (and flood-trace recorder) attached. The smoke
+// passes if the instrumented flood stays within 10% of EITHER the detached
+// same-run baseline or the flood_ctx row previously recorded in
+// baselinePath — the recorded row absorbs machine-load noise between the
+// two same-run measurements.
+func runObsOverhead(peers int, benchtime time.Duration, baselinePath string) {
+	nw, criteria := buildNet(peers)
+	ctx := nw.NewFloodCtx()
+	disabled := runBench("flood_ctx_obs_off", benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Flood(i%peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	reg := obs.NewRegistry()
+	nw.Instrument(reg, obs.NewFloodTraces(0))
+	ictx := nw.NewFloodCtx()
+	enabled := runBench("flood_ctx_obs_on", benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ictx.Flood(i%peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if reg.Counter("gnet_floods_total").Value() == 0 {
+		fail(fmt.Errorf("obs-overhead: instrumented floods recorded no metrics"))
+	}
+
+	const tolerance = 1.10
+	limit := disabled.NsPerOp * tolerance
+	recorded := recordedFloodCtxNs(baselinePath)
+	if recorded > 0 && recorded*tolerance > limit {
+		limit = recorded * tolerance
+	}
+	fmt.Fprintf(os.Stderr,
+		"qc-bench: obs overhead %d peers: off %.0f ns/op, on %.0f ns/op (%.2fx); recorded flood_ctx %.0f ns/op; limit %.0f\n",
+		peers, disabled.NsPerOp, enabled.NsPerOp, enabled.NsPerOp/disabled.NsPerOp, recorded, limit)
+	if enabled.NsPerOp > limit {
+		fail(fmt.Errorf("obs-overhead: instrumented flood %.0f ns/op exceeds limit %.0f ns/op", enabled.NsPerOp, limit))
+	}
+	fmt.Fprintln(os.Stderr, "qc-bench: obs overhead within budget")
+}
+
+// recordedFloodCtxNs returns the flood_ctx ns/op recorded in a previous
+// BENCH_flood.json report, or 0 when the file or row is absent.
+func recordedFloodCtxNs(path string) float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0
+	}
+	for _, row := range rep.Flood {
+		if row.Name == "flood_ctx" {
+			return row.NsPerOp
+		}
+	}
+	return 0
 }
 
 func fail(err error) {

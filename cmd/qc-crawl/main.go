@@ -13,6 +13,7 @@
 //	qc-crawl -peers 1000 -objects 81000 -seed 42 -o crawl.trace
 //	qc-crawl -peers 1000 -objects 81000 -fault-dial 0.2 -fault-reset 0.1 -attempts 4
 //	qc-crawl -fault-sweep -scale small -o faults.dat
+//	qc-crawl -peers 200 -objects 4000 -metrics   # also write out/RUN_qc-crawl_*.json
 package main
 
 import (
@@ -24,6 +25,8 @@ import (
 	"strings"
 
 	qc "querycentric"
+	"querycentric/internal/cliflags"
+	"querycentric/internal/parallel"
 	"querycentric/internal/profiling"
 )
 
@@ -32,7 +35,7 @@ func main() {
 		peers      = flag.Int("peers", 1000, "number of peers in the network")
 		objects    = flag.Int("objects", 81000, "number of distinct objects")
 		firewalled = flag.Float64("firewalled", 0.1, "fraction of peers refusing crawler connections")
-		seed       = flag.Uint64("seed", 42, "root random seed")
+		seed       = cliflags.AddSeed(flag.CommandLine)
 		out        = flag.String("o", "", "output file (default stdout)")
 
 		// Injected substrate faults (all default to zero: no faults).
@@ -49,21 +52,44 @@ func main() {
 		sweep      = flag.Bool("fault-sweep", false, "run the fault-rate sweep experiment instead of a single crawl")
 		sweepRates = flag.String("fault-rates", "", "comma-separated fault rates to sweep (default 0,0.05,0.1,0.2,0.3,0.4,0.5)")
 		sweepDead  = flag.Float64("dead", 0, "fraction of peers offline (churn liveness mask) at non-zero sweep rates")
-		scaleName  = flag.String("scale", "default", "population scale for -fault-sweep (tiny|small|default|full)")
-		workers    = flag.Int("workers", 0, "trial worker pool size for -fault-sweep floods (0 = GOMAXPROCS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		scaleName  = cliflags.AddScale(flag.CommandLine, "default")
+		workers    = cliflags.AddWorkers(flag.CommandLine)
+		profiles   = cliflags.AddProfiles(flag.CommandLine)
+		obsFlags   = cliflags.AddObs(flag.CommandLine, "qc-crawl")
 	)
 	flag.Parse()
 
-	if *workers < 0 {
-		fail(fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", *workers))
+	if err := cliflags.CheckWorkers(*workers); err != nil {
+		fail(err)
 	}
-	if *sweepDead < 0 || *sweepDead > 1 {
-		fail(fmt.Errorf("-dead must be in [0,1], got %g", *sweepDead))
+	if err := cliflags.CheckPositive("-peers", *peers); err != nil {
+		fail(err)
+	}
+	if err := cliflags.CheckPositive("-objects", *objects); err != nil {
+		fail(err)
+	}
+	if err := cliflags.CheckNonNegative("-attempts", *attempts); err != nil {
+		fail(err)
+	}
+	for _, fr := range []struct {
+		name string
+		v    float64
+	}{
+		{"-firewalled", *firewalled},
+		{"-fault-dial", *faultDial},
+		{"-fault-handshake", *faultHandshake},
+		{"-fault-reset", *faultReset},
+		{"-fault-truncate", *faultTruncate},
+		{"-fault-depart", *faultDepart},
+		{"-fault-loss", *faultLoss},
+		{"-dead", *sweepDead},
+	} {
+		if err := cliflags.CheckFrac(fr.name, fr.v); err != nil {
+			fail(err)
+		}
 	}
 
-	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	finishProfiles, err := profiling.Start(profiles.CPU, profiles.Mem)
 	if err != nil {
 		fail(err)
 	}
@@ -84,10 +110,14 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(w, *scaleName, *seed, *sweepRates, *sweepDead, *attempts, *workers)
+		runSweep(w, *scaleName, *seed, *sweepRates, *sweepDead, *attempts, *workers, obsFlags)
 		return
 	}
 
+	reg, traces := obsFlags.Setup()
+	if reg != nil {
+		parallel.Instrument(reg)
+	}
 	fseed := *faultSeed
 	if fseed == 0 {
 		fseed = *seed
@@ -107,6 +137,8 @@ func main() {
 			MessageLoss:    *faultLoss,
 		},
 		MaxAttempts: *attempts,
+		Obs:         reg,
+		FloodTraces: traces,
 	})
 	if err != nil {
 		fail(err)
@@ -115,12 +147,13 @@ func main() {
 	if err := tr.Write(w); err != nil {
 		fail(err)
 	}
+	writeManifest(obsFlags, "", "", *seed, *workers)
 }
 
 // runSweep runs the fault-rate degradation experiment and writes the .dat
 // table (rate, coverage, partial, failed, record fraction, retries, flood
 // success).
-func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead float64, attempts, workers int) {
+func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead float64, attempts, workers int, obsFlags *cliflags.ObsFlags) {
 	scale, err := qc.ParseScale(scaleName)
 	if err != nil {
 		fail(err)
@@ -132,11 +165,18 @@ func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead 
 			if err != nil {
 				fail(fmt.Errorf("bad fault rate %q: %w", part, err))
 			}
+			if err := cliflags.CheckFrac("-fault-rates", r); err != nil {
+				fail(err)
+			}
 			rates = append(rates, r)
 		}
 	}
 	env := qc.NewEnv(scale, seed)
 	env.Workers = workers
+	env.Obs, env.FloodTraces = obsFlags.Setup()
+	if env.Obs != nil {
+		parallel.Instrument(env.Obs)
+	}
 	res, err := qc.FaultSweepWith(env, qc.FaultSweepConfig{
 		Rates:       rates,
 		DeadFrac:    dead,
@@ -147,10 +187,17 @@ func runSweep(w io.Writer, scaleName string, seed uint64, ratesCSV string, dead 
 	}
 	fmt.Fprintf(w, "# fault sweep: %d peers, dead_frac %.2f, %d attempts/peer\n",
 		res.Peers, res.DeadFrac, res.MaxAttempts)
-	fmt.Fprintln(w, "# rate\tcoverage\tpartial\tfailed\trecord_frac\tretried\tflood_success")
-	for _, p := range res.Points {
-		fmt.Fprintf(w, "%.3f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%.4f\n",
-			p.Rate, p.Coverage, p.PartialFrac, p.FailedFrac, p.RecordFrac, p.Retried, p.FloodSuccess)
+	if err := qc.WriteResultTable(w, res); err != nil {
+		fail(err)
+	}
+	writeManifest(obsFlags, "fault-sweep", scale.String(), seed, workers)
+}
+
+func writeManifest(obsFlags *cliflags.ObsFlags, mode, scale string, seed uint64, workers int) {
+	if path, err := obsFlags.WriteManifest(mode, scale, seed, workers); err != nil {
+		fail(err)
+	} else if path != "" {
+		fmt.Fprintf(os.Stderr, "qc-crawl: wrote %s\n", path)
 	}
 }
 

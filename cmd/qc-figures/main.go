@@ -5,6 +5,7 @@
 // Usage:
 //
 //	qc-figures -scale default -seed 42 -out out/
+//	qc-figures -scale tiny -metrics       # also write out/RUN_qc-figures_*.json
 package main
 
 import (
@@ -14,30 +15,32 @@ import (
 	"path/filepath"
 
 	qc "querycentric"
+	"querycentric/internal/cliflags"
+	"querycentric/internal/parallel"
 	"querycentric/internal/profiling"
 )
 
 func main() {
 	var (
-		scaleName  = flag.String("scale", "default", "tiny|small|default|full")
-		seed       = flag.Uint64("seed", 42, "root random seed")
-		outDir     = flag.String("out", "out", "output directory")
-		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		scaleName = cliflags.AddScale(flag.CommandLine, "default")
+		seed      = cliflags.AddSeed(flag.CommandLine)
+		outDir    = flag.String("out", "out", "output directory")
+		workers   = cliflags.AddWorkers(flag.CommandLine)
+		profiles  = cliflags.AddProfiles(flag.CommandLine)
+		obsFlags  = cliflags.AddObs(flag.CommandLine, "qc-figures")
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
 	if err != nil {
 		fail(err)
 	}
-	if *workers < 0 {
-		fail(fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", *workers))
+	if err := cliflags.CheckWorkers(*workers); err != nil {
+		fail(err)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}
-	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	finishProfiles, err := profiling.Start(profiles.CPU, profiles.Mem)
 	if err != nil {
 		fail(err)
 	}
@@ -48,6 +51,10 @@ func main() {
 	}()
 	env := qc.NewEnv(scale, *seed)
 	env.Workers = *workers
+	env.Obs, env.FloodTraces = obsFlags.Setup()
+	if env.Obs != nil {
+		parallel.Instrument(env.Obs)
+	}
 	sum, err := os.Create(filepath.Join(*outDir, "summary.txt"))
 	if err != nil {
 		fail(err)
@@ -58,6 +65,18 @@ func main() {
 		fmt.Fprintf(sum, format+"\n", args...)
 	}
 	note("qc-figures scale=%s seed=%d", scale, *seed)
+
+	// writeTable renders one result as <outDir>/<name>.dat.
+	writeTable := func(name string, r qc.Result) {
+		f, err := os.Create(filepath.Join(*outDir, name+".dat"))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := qc.WriteResultTable(f, r); err != nil {
+			fail(err)
+		}
+	}
 
 	// Figures 1-3.
 	for _, fig := range []struct {
@@ -73,7 +92,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		writeRankFreq(filepath.Join(*outDir, fig.name+".dat"), r)
+		writeTable(fig.name, r)
 		note("%s: unique=%d singleton=%.1f%% ≤37peers=%.1f%% zipf_s=%.2f  [%s]",
 			fig.name, r.Report.Unique, 100*r.SingletonFrac, 100*r.FracAtMost37,
 			r.Report.Fit.S, fig.paper)
@@ -84,20 +103,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err := os.Create(filepath.Join(*outDir, "fig4.dat"))
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintln(f, "# annotation\trank\tcount")
+	writeTable("fig4", f4)
 	for _, a := range []qc.Annotation{qc.AnnotationSong, qc.AnnotationGenre, qc.AnnotationAlbum, qc.AnnotationArtist} {
 		rep := f4.Reports[a]
-		for _, p := range rep.RankFreq() {
-			fmt.Fprintf(f, "%s\t%d\t%d\n", a, p.Rank, p.Count)
-		}
 		note("fig4-%s: unique=%d singleton=%.1f%% missing=%.1f%%  [paper: songs 64%% singleton; genre missing 8.7%%; album missing 8.1%%; artists 65%% singleton]",
 			a, rep.Unique, 100*rep.SingletonFrac, 100*rep.MissingFrac)
 	}
-	f.Close()
 	note("fig4 crawl funnel: %s  [paper: 620 discovered, 45 password, 33 busy, 239 readable]", f4.CrawlStats)
 
 	// Figure 5.
@@ -105,18 +116,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err = os.Create(filepath.Join(*outDir, "fig5.dat"))
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintln(f, "# interval_s\tstart\ttransient_count")
-	for iv, pts := range f5.PointsByInterval {
-		for _, p := range pts {
-			fmt.Fprintf(f, "%d\t%d\t%d\n", iv, p.Start, p.Count)
-		}
-	}
-	f.Close()
-	for iv, s := range f5.SummaryByInterval {
+	writeTable("fig5", f5)
+	for _, iv := range qc.Fig5Intervals {
+		s := f5.SummaryByInterval[iv]
 		note("fig5 interval=%ds: mean=%.2f sd=%.2f max=%.0f  [paper: low mean, significant variance]",
 			iv, s.Mean, s.StdDev, s.Max)
 	}
@@ -126,7 +128,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	writeSeries(filepath.Join(*outDir, "fig6.dat"), "start\tjaccard", f6.Series)
+	writeTable("fig6", f6)
 	note("fig6: mean stability after warmup = %.3f  [paper: >0.90]", f6.MeanAfterWarmup)
 
 	// Figure 7.
@@ -134,7 +136,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	writeSeries(filepath.Join(*outDir, "fig7.dat"), "start\tjaccard_popular", f7.PopularSeries)
+	writeTable("fig7", f7)
 	note("fig7: mean popular-vs-F* = %.3f, all-terms-vs-F* = %.3f, rank ρ = %.2f  [paper: <0.20, ~0.05, little correlation]",
 		f7.MeanPopular, f7.MeanAllTerms, f7.RankCorrelation)
 
@@ -147,7 +149,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err = os.Create(filepath.Join(*outDir, "interval_sweep.dat"))
+	f, err := os.Create(filepath.Join(*outDir, "interval_sweep.dat"))
 	if err != nil {
 		fail(err)
 	}
@@ -174,15 +176,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err = os.Create(filepath.Join(*outDir, "ttl_coverage.dat"))
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintln(f, "# ttl\tfraction")
-	for i, frac := range cov.Fractions {
-		fmt.Fprintf(f, "%d\t%.5f\n", i+1, frac)
-	}
-	f.Close()
+	writeTable("ttl_coverage", cov)
 	note("ttl-coverage (%d nodes): %v, mean hops %.2f  [paper: 0.05%%, ..., 26.25%%, 82.95%%; 2.47 hops]",
 		cov.Nodes, cov.Fractions, cov.MeanHops)
 
@@ -191,23 +185,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err = os.Create(filepath.Join(*outDir, "fig8.dat"))
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(f, "# ttl")
-	for _, c := range f8.Curves {
-		fmt.Fprintf(f, "\t%s", c.Label)
-	}
-	fmt.Fprintln(f)
-	for ttl := 1; ttl <= len(f8.Curves[0].Success); ttl++ {
-		fmt.Fprintf(f, "%d", ttl)
-		for _, c := range f8.Curves {
-			fmt.Fprintf(f, "\t%.4f", c.Success[ttl-1])
-		}
-		fmt.Fprintln(f)
-	}
-	f.Close()
+	writeTable("fig8", f8)
 	note("fig8 (%d nodes): zipf@TTL3=%.3f uniform39@TTL3=%.3f zipf-mean=%.2f  [paper: ~5%% vs ~62%%; mean ~1.5]",
 		f8.Nodes, f8.ZipfAtTTL3, f8.Uni39AtTTL3, f8.ZipfMean)
 
@@ -249,16 +227,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err = os.Create(filepath.Join(*outDir, "churn.dat"))
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintln(f, "# time\tonline_frac\tuniform_success\tzipf_success")
-	for i := range ch.UniformSeries {
-		u, z := ch.UniformSeries[i], ch.ZipfSeries[i]
-		fmt.Fprintf(f, "%d\t%.3f\t%.3f\t%.3f\n", u.Time, u.OnlineFrac, u.SuccessRate, z.SuccessRate)
-	}
-	f.Close()
+	writeTable("churn", ch)
 	note("churn (%d nodes, %.0f%% online): uniform=%.3f zipf=%.3f  [churn amplifies the Zipf penalty]",
 		ch.Nodes, 100*ch.MeanOnline, ch.UniformSuccess, ch.ZipfSuccess)
 
@@ -287,29 +256,11 @@ func main() {
 		fail(err)
 	}
 	note("dht routing (%d nodes): chord %.2f hops, pastry %.2f hops", d.Nodes, d.ChordMeanHops, d.PastryMeanHops)
-}
 
-func writeRankFreq(path string, r *qc.DistResult) {
-	f, err := os.Create(path)
-	if err != nil {
+	if path, err := obsFlags.WriteManifest("", scale.String(), *seed, *workers); err != nil {
 		fail(err)
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "# rank\tcount")
-	for _, p := range r.RankFreq {
-		fmt.Fprintf(f, "%d\t%d\n", p.Rank, p.Count)
-	}
-}
-
-func writeSeries(path, header string, series []qc.SeriesPoint) {
-	f, err := os.Create(path)
-	if err != nil {
-		fail(err)
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "# "+header)
-	for _, p := range series {
-		fmt.Fprintf(f, "%d\t%.4f\n", p.Start, p.Value)
+	} else if path != "" {
+		fmt.Fprintf(os.Stderr, "qc-figures: wrote %s\n", path)
 	}
 }
 

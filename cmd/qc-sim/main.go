@@ -10,6 +10,7 @@
 //	qc-sim -mode gia
 //	qc-sim -mode synopsis
 //	qc-sim -mode churn-repair -scale tiny
+//	qc-sim -mode fig8 -metrics            # also write out/RUN_qc-sim_fig8_*.json
 package main
 
 import (
@@ -18,34 +19,41 @@ import (
 	"os"
 
 	qc "querycentric"
+	"querycentric/internal/cliflags"
+	"querycentric/internal/parallel"
 	"querycentric/internal/profiling"
 )
 
 func main() {
 	var (
-		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|walk|replication|synopsis|faults")
-		scaleName    = flag.String("scale", "default", "tiny|small|default|full")
-		seed         = flag.Uint64("seed", 42, "root random seed")
+		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|walk|replication|shortcuts|synopsis|faults")
+		scaleName    = cliflags.AddScale(flag.CommandLine, "default")
+		seed         = cliflags.AddSeed(flag.CommandLine)
 		deadFrac     = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
-		workers      = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
+		workers      = cliflags.AddWorkers(flag.CommandLine)
 		pingInterval = flag.Int64("ping-interval", 0, "seconds between keepalive rounds in -mode churn-repair (0 = default)")
 		pingTimeout  = flag.Int("ping-timeout", 0, "silent rounds before a neighbor is declared dead in -mode churn-repair (0 = default)")
 		politeFrac   = flag.Float64("polite", -1, "fraction of departures announced with a Bye in -mode churn-repair (-1 = default)")
-		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile   = flag.String("memprofile", "", "write a heap profile to this file")
+		profiles     = cliflags.AddProfiles(flag.CommandLine)
+		obsFlags     = cliflags.AddObs(flag.CommandLine, "qc-sim")
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
 	if err != nil {
 		fail(err)
 	}
-	if *workers < 0 {
-		fail(fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", *workers))
+	if err := cliflags.CheckWorkers(*workers); err != nil {
+		fail(err)
 	}
-	if *deadFrac < 0 || *deadFrac > 1 {
-		fail(fmt.Errorf("-dead must be in [0,1], got %g", *deadFrac))
+	if err := cliflags.CheckFrac("-dead", *deadFrac); err != nil {
+		fail(err)
 	}
-	finishProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if *politeFrac >= 0 {
+		if err := cliflags.CheckFrac("-polite", *politeFrac); err != nil {
+			fail(err)
+		}
+	}
+	finishProfiles, err := profiling.Start(profiles.CPU, profiles.Mem)
 	if err != nil {
 		fail(err)
 	}
@@ -56,6 +64,11 @@ func main() {
 	}()
 	env := qc.NewEnv(scale, *seed)
 	env.Workers = *workers
+	env.Obs, env.FloodTraces = obsFlags.Setup()
+	if env.Obs != nil {
+		parallel.Instrument(env.Obs)
+	}
+	stopPhase := obsFlags.Registry().StartPhase("sim/" + *mode)
 	switch *mode {
 	case "coverage":
 		c, err := qc.TTLCoverage(env)
@@ -63,28 +76,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("# %d nodes, mean query hops %.2f (paper: 2.47)\n", c.Nodes, c.MeanHops)
-		fmt.Println("# ttl\tfraction_reached")
-		for i, f := range c.Fractions {
-			fmt.Printf("%d\t%.5f\n", i+1, f)
-		}
+		writeTable(c)
 	case "fig8":
 		f8, err := qc.Fig8(env)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("# %d nodes; zipf mean replicas %.2f\n", f8.Nodes, f8.ZipfMean)
-		fmt.Print("# ttl")
-		for _, c := range f8.Curves {
-			fmt.Printf("\t%s", c.Label)
-		}
-		fmt.Println()
-		for ttl := 1; ttl <= len(f8.Curves[0].Success); ttl++ {
-			fmt.Printf("%d", ttl)
-			for _, c := range f8.Curves {
-				fmt.Printf("\t%.4f", c.Success[ttl-1])
-			}
-			fmt.Println()
-		}
+		writeTable(f8)
 		fmt.Fprintf(os.Stderr, "fig8: zipf@TTL3=%.3f vs uniform-39@TTL3=%.3f\n",
 			f8.ZipfAtTTL3, f8.Uni39AtTTL3)
 	case "hybrid":
@@ -92,34 +91,27 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		c := h.Comparison
-		fmt.Printf("nodes\t%d\n", h.Nodes)
-		fmt.Printf("hybrid_success\t%.3f\nhybrid_mean_cost\t%.1f\n", c.HybridSuccess, c.HybridMeanCost)
-		fmt.Printf("dht_success\t%.3f\ndht_mean_cost\t%.1f\n", c.DHTSuccess, c.DHTMeanCost)
-		fmt.Printf("dht_fallback_frac\t%.3f\n", c.DHTFallbackFrac)
+		writeTable(h)
 	case "gia":
 		g, err := qc.GiaComparison(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\nuniform_0.5pct_success\t%.3f\nzipf_success\t%.3f\n",
-			g.Nodes, g.UniformSuccess, g.ZipfSuccess)
+		writeTable(g)
 	case "qrp":
 		q, err := qc.QRPEffect(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("peers\t%d\nqueries\t%d\n", q.Peers, q.Queries)
-		fmt.Printf("plain_success\t%.3f\nplain_messages\t%d\n", q.PlainSuccess, q.PlainMessages)
-		fmt.Printf("qrp_success\t%.3f\nqrp_messages\t%d\nmessage_savings\t%.1f%%\n",
-			q.QRPSuccess, q.QRPMessages, 100*q.MessageSavings)
+		writeTable(q)
 	case "churn":
 		c, err := qc.ChurnComparison(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\nmean_online\t%.3f\n", c.Nodes, c.MeanOnline)
-		fmt.Printf("uniform_success\t%.3f\nzipf_success\t%.3f\n", c.UniformSuccess, c.ZipfSuccess)
+		fmt.Printf("# %d nodes, mean_online %.3f, uniform_success %.3f, zipf_success %.3f\n",
+			c.Nodes, c.MeanOnline, c.UniformSuccess, c.ZipfSuccess)
+		writeTable(c)
 	case "churn-repair":
 		cfg := qc.DefaultChurnRepairConfig(*seed)
 		if *pingInterval > 0 {
@@ -137,12 +129,7 @@ func main() {
 		}
 		fmt.Printf("# churn repair: %d peers, %d churn events, TTL %d\n", c.Peers, c.Events, c.TTL)
 		fmt.Printf("# static_success\t%.4f\n", c.StaticSuccess)
-		fmt.Println("# time\tonline\tdeg_norepair\tsucc_norepair\tdeg_repair\tsucc_repair")
-		for i := range c.NoRepair {
-			nr, rp := c.NoRepair[i], c.Repair[i]
-			fmt.Printf("%d\t%.3f\t%.2f\t%.4f\t%.2f\t%.4f\n",
-				nr.Time, nr.OnlineFrac, nr.MeanDegree, nr.Success, rp.MeanDegree, rp.Success)
-		}
+		writeTable(c)
 		fmt.Printf("norepair_mean\t%.4f\nrepair_mean\t%.4f\nrecovered_frac\t%.3f\n",
 			c.NoRepairMean, c.RepairMean, c.RecoveredFrac)
 		st := c.RepairStats
@@ -155,36 +142,27 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\n", w.Nodes)
-		fmt.Printf("flood\tsuccess=%.3f\tmsgs=%.0f\n", w.FloodSuccess, w.FloodMessages)
-		fmt.Printf("walk\tsuccess=%.3f\tmsgs=%.0f\n", w.WalkSuccess, w.WalkMessages)
-		fmt.Printf("ring\tsuccess=%.3f\tmsgs=%.0f\n", w.RingSuccess, w.RingMessages)
+		fmt.Printf("# %d nodes\n", w.Nodes)
+		writeTable(w)
 	case "replication":
 		r, err := qc.ReplicationStrategies(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\nbudget\t%d\n", r.Nodes, r.Budget)
-		for _, row := range r.Rows {
-			fmt.Printf("%s/%s\t%.3f\n", row.Strategy, row.Basis, row.Success)
-		}
+		fmt.Printf("# %d nodes, replica budget %d\n", r.Nodes, r.Budget)
+		writeTable(r)
 	case "shortcuts":
 		s, err := qc.ShortcutsExperiment(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\n", s.Nodes)
-		fmt.Printf("warmup_shortcut_hits\t%.3f\nsteady_shortcut_hits\t%.3f\nshifted_shortcut_hits\t%.3f\n",
-			s.WarmupHits, s.SteadyHits, s.ShiftedHits)
-		fmt.Printf("steady_mean_messages\t%.1f\nflood_mean_messages\t%.1f\n",
-			s.SteadyMessages, s.FloodMessages)
+		writeTable(s)
 	case "dht":
 		d, err := qc.DHTRouting(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\nlookups\t%d\nchord_mean_hops\t%.2f\npastry_mean_hops\t%.2f\n",
-			d.Nodes, d.Lookups, d.ChordMeanHops, d.PastryMeanHops)
+		writeTable(d)
 	case "faults":
 		f, err := qc.FaultSweepWith(env, qc.FaultSweepConfig{DeadFrac: *deadFrac})
 		if err != nil {
@@ -192,21 +170,27 @@ func main() {
 		}
 		fmt.Printf("# fault sweep: %d peers, dead_frac %.2f, %d attempts/peer\n",
 			f.Peers, f.DeadFrac, f.MaxAttempts)
-		fmt.Println("# rate\tcoverage\tpartial\tfailed\trecord_frac\tretried\tflood_success")
-		for _, p := range f.Points {
-			fmt.Printf("%.3f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%.4f\n",
-				p.Rate, p.Coverage, p.PartialFrac, p.FailedFrac, p.RecordFrac, p.Retried, p.FloodSuccess)
-		}
+		writeTable(f)
 	case "synopsis":
 		s, err := qc.SynopsisAblation(env)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("nodes\t%d\nrounds\t%d\nqueries_per_round\t%d\n", s.Nodes, s.Rounds, s.QueriesPerRound)
-		fmt.Printf("flood_success\t%.3f\nstatic_synopsis_success\t%.3f\nadaptive_synopsis_success\t%.3f\n",
-			s.FloodSuccess, s.StaticSuccess, s.AdaptiveSuccess)
+		writeTable(s)
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	stopPhase()
+	if path, err := obsFlags.WriteManifest(*mode, scale.String(), *seed, *workers); err != nil {
+		fail(err)
+	} else if path != "" {
+		fmt.Fprintf(os.Stderr, "qc-sim: wrote %s\n", path)
+	}
+}
+
+func writeTable(r qc.Result) {
+	if err := qc.WriteResultTable(os.Stdout, r); err != nil {
+		fail(err)
 	}
 }
 

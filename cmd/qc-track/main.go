@@ -8,6 +8,7 @@
 //
 //	qc-queries -n 100000 | qc-track
 //	qc-track -in queries.trace -interval 3600 -mismatch crawl.trace
+//	qc-track -in queries.trace -metrics   # also write out/RUN_qc-track_*.json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	qc "querycentric"
+	"querycentric/internal/cliflags"
 )
 
 func main() {
@@ -25,8 +27,16 @@ func main() {
 		interval = flag.Int64("interval", 3600, "evaluation interval in seconds")
 		crawl    = flag.String("mismatch", "", "object trace; when given, report per-interval mismatch vs its popular file terms")
 		decay    = flag.Float64("decay", 1.0, "history decay per interval in (0,1]")
+		obsFlags = cliflags.AddObs(flag.CommandLine, "qc-track")
 	)
 	flag.Parse()
+	if err := cliflags.CheckPositiveSeconds("-interval", *interval); err != nil {
+		fail(err)
+	}
+	if *decay <= 0 || *decay > 1 {
+		fail(fmt.Errorf("-decay must be in (0,1], got %g", *decay))
+	}
+	reg, _ := obsFlags.Setup()
 
 	r := os.Stdin
 	if *in != "" {
@@ -66,6 +76,9 @@ func main() {
 	header += "\ttransients"
 	fmt.Println(header)
 	tracker, err := qc.NewTracker(cfg, func(rep *qc.IntervalReport) {
+		reg.Counter("track_intervals_total").Inc()
+		reg.Counter("track_queries_total").Add(int64(rep.Queries))
+		reg.Counter("track_transients_total").Add(int64(len(rep.Transients)))
 		line := fmt.Sprintf("%d\t%d\t%d\t%.3f", rep.Start, rep.Queries, len(rep.Popular), rep.Stability)
 		if fstar != nil {
 			pop := rep.Popular
@@ -94,6 +107,11 @@ func main() {
 		}
 	}
 	tracker.Flush()
+	if path, err := obsFlags.WriteManifest("", "", 0, 1); err != nil {
+		fail(err)
+	} else if path != "" {
+		fmt.Fprintf(os.Stderr, "qc-track: wrote %s\n", path)
+	}
 }
 
 func fail(err error) {

@@ -1,0 +1,179 @@
+// Package cliflags unifies the flag surface of the qc-* commands: one
+// registration helper per shared flag (identical name, default and help
+// text everywhere), uniform out-of-range rejection, and the observability
+// flags (-metrics, -trace-floods, -metrics-dir) every command exposes.
+//
+// Commands register the subset of shared flags they need against their own
+// flag.FlagSet (normally flag.CommandLine), parse, validate with the Check
+// helpers, and — when the observability plane is enabled — finish by
+// writing a run manifest with ObsFlags.WriteManifest.
+package cliflags
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"querycentric/internal/obs"
+)
+
+// AddScale registers the shared -scale flag with the given default.
+func AddScale(fs *flag.FlagSet, def string) *string {
+	return fs.String("scale", def, "population scale (tiny|small|default|full)")
+}
+
+// AddSeed registers the shared -seed flag.
+func AddSeed(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("seed", 42, "root random seed")
+}
+
+// AddWorkers registers the shared -workers flag.
+func AddWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
+}
+
+// Profiles holds the shared profiling flag values.
+type Profiles struct {
+	CPU string
+	Mem string
+}
+
+// AddProfiles registers the shared -cpuprofile/-memprofile flags.
+func AddProfiles(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to this file")
+	return p
+}
+
+// ObsFlags holds the observability flag values of one command.
+type ObsFlags struct {
+	// Command is the qc-* command name, used in the manifest and the
+	// RUN_*.json file name.
+	Command string
+	// Metrics enables the deterministic metrics registry.
+	Metrics bool
+	// TraceFloods additionally records a bounded deterministic sample of
+	// per-flood hop traces (implies Metrics).
+	TraceFloods bool
+	// Dir is where run manifests are written.
+	Dir string
+
+	reg    *obs.Registry
+	traces *obs.FloodTraces
+}
+
+// AddObs registers -metrics, -trace-floods and -metrics-dir for command.
+func AddObs(fs *flag.FlagSet, command string) *ObsFlags {
+	o := &ObsFlags{Command: command}
+	fs.BoolVar(&o.Metrics, "metrics", false, "collect deterministic run metrics and write a RUN_*.json manifest under -metrics-dir")
+	fs.BoolVar(&o.TraceFloods, "trace-floods", false, "record a bounded deterministic sample of per-flood hop traces (implies -metrics)")
+	fs.StringVar(&o.Dir, "metrics-dir", "out", "directory for run manifests (RUN_*.json plus a .prom exposition sibling)")
+	return o
+}
+
+// Setup builds the registry (and, with -trace-floods, the trace recorder)
+// when the plane is enabled; both are nil when it is not. Call once after
+// flag parsing.
+func (o *ObsFlags) Setup() (*obs.Registry, *obs.FloodTraces) {
+	if o == nil || (!o.Metrics && !o.TraceFloods) {
+		return nil, nil
+	}
+	o.reg = obs.NewRegistry()
+	if o.TraceFloods {
+		o.traces = obs.NewFloodTraces(0)
+	}
+	return o.reg, o.traces
+}
+
+// Enabled reports whether Setup built a registry.
+func (o *ObsFlags) Enabled() bool { return o != nil && o.reg != nil }
+
+// Registry returns the registry built by Setup (nil when disabled).
+func (o *ObsFlags) Registry() *obs.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// WriteManifest finalizes the run manifest and writes it as
+// <dir>/RUN_<command>[_<mode>][_<scale>]_seed<seed>.json plus a Prometheus
+// text-exposition sibling with the .prom extension. It is a no-op (and
+// returns "") when the plane is disabled, so commands call it
+// unconditionally.
+func (o *ObsFlags) WriteManifest(mode, scale string, seed uint64, workers int) (string, error) {
+	if !o.Enabled() {
+		return "", nil
+	}
+	m := &obs.Manifest{
+		Command: o.Command,
+		Mode:    mode,
+		Scale:   scale,
+		Seed:    seed,
+		Workers: workers,
+		Phases:  o.reg.Phases(),
+		Metrics: o.reg.Snapshot(),
+	}
+	if o.traces != nil {
+		m.FloodTraces = o.traces.Snapshot()
+	}
+	m.Finalize()
+	path := filepath.Join(o.Dir, obs.RunFileName(o.Command, mode, scale, seed))
+	if err := m.WriteFile(path); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := m.Metrics.WritePrometheus(&buf); err != nil {
+		return "", err
+	}
+	prom := strings.TrimSuffix(path, ".json") + ".prom"
+	if err := os.WriteFile(prom, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// CheckWorkers rejects negative -workers values.
+func CheckWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 1, or 0 for GOMAXPROCS; got %d", workers)
+	}
+	return nil
+}
+
+// CheckFrac rejects values outside [0, 1] for probability/fraction flags.
+func CheckFrac(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%s must be in [0,1], got %g", name, v)
+	}
+	return nil
+}
+
+// CheckPositive rejects non-positive values for count flags.
+func CheckPositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive, got %d", name, v)
+	}
+	return nil
+}
+
+// CheckNonNegative rejects negative values for count flags where zero
+// means "use the default".
+func CheckNonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %d", name, v)
+	}
+	return nil
+}
+
+// CheckPositiveSeconds rejects non-positive interval flags.
+func CheckPositiveSeconds(name string, v int64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be a positive number of seconds, got %d", name, v)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"querycentric/internal/obs"
+)
+
+func TestObsDisabledByDefault(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddObs(fs, "qc-test")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	reg, traces := o.Setup()
+	if reg != nil || traces != nil || o.Enabled() {
+		t.Fatal("plane must be disabled without -metrics")
+	}
+	path, err := o.WriteManifest("", "tiny", 42, 1)
+	if err != nil || path != "" {
+		t.Fatalf("disabled WriteManifest = (%q, %v), want no-op", path, err)
+	}
+}
+
+func TestTraceFloodsImpliesMetrics(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddObs(fs, "qc-test")
+	if err := fs.Parse([]string{"-trace-floods"}); err != nil {
+		t.Fatal(err)
+	}
+	reg, traces := o.Setup()
+	if reg == nil || traces == nil {
+		t.Fatal("-trace-floods must enable both registry and trace recorder")
+	}
+}
+
+func TestWriteManifest(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := AddObs(fs, "qc-test")
+	if err := fs.Parse([]string{"-metrics", "-metrics-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := o.Setup()
+	reg.Counter("a_total").Add(3)
+	path, err := o.WriteManifest("fig8", "tiny", 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "RUN_qc-test_fig8_tiny_seed7.json" {
+		t.Errorf("manifest name = %s", filepath.Base(path))
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Command != "qc-test" || m.Mode != "fig8" || m.Seed != 7 || m.Workers != 4 {
+		t.Errorf("manifest header = %+v", m)
+	}
+	if m.Fingerprint == "" || m.SchemaVersion != obs.ManifestSchemaVersion {
+		t.Errorf("manifest not finalized: %+v", m)
+	}
+	prom, err := os.ReadFile(strings.TrimSuffix(path, ".json") + ".prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "a_total 3") {
+		t.Errorf("prom exposition missing counter: %q", prom)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	if CheckWorkers(0) != nil || CheckWorkers(8) != nil {
+		t.Error("valid workers rejected")
+	}
+	if CheckWorkers(-1) == nil {
+		t.Error("negative workers accepted")
+	}
+	if CheckFrac("-dead", 0) != nil || CheckFrac("-dead", 1) != nil {
+		t.Error("valid fraction rejected")
+	}
+	if CheckFrac("-dead", -0.1) == nil || CheckFrac("-dead", 1.1) == nil {
+		t.Error("out-of-range fraction accepted")
+	}
+	if CheckPositive("-peers", 1) != nil || CheckPositive("-peers", 0) == nil {
+		t.Error("CheckPositive wrong")
+	}
+	if CheckNonNegative("-attempts", 0) != nil || CheckNonNegative("-attempts", -1) == nil {
+		t.Error("CheckNonNegative wrong")
+	}
+	if CheckPositiveSeconds("-interval", 60) != nil || CheckPositiveSeconds("-interval", 0) == nil {
+		t.Error("CheckPositiveSeconds wrong")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"querycentric/internal/gmsg"
 	"querycentric/internal/gnet"
+	"querycentric/internal/obs"
 	"querycentric/internal/rng"
 	"querycentric/internal/trace"
 )
@@ -56,6 +57,12 @@ type Config struct {
 	// Seed drives backoff jitter (and nothing else): crawl results are
 	// identical for any Seed; only retry pacing varies.
 	Seed uint64
+
+	// Obs, when non-nil, publishes the crawl funnel (discovered → crawled →
+	// firewalled/failed plus the degradation counters) to the observability
+	// registry at crawl end. Purely observational: attaching a registry
+	// never changes what the crawl records.
+	Obs *obs.Registry
 
 	// sleep is the backoff clock, replaceable in tests.
 	sleep func(time.Duration)
@@ -204,6 +211,19 @@ func Crawl(nw *gnet.Network, cfg Config) (*trace.ObjectTrace, *Stats, error) {
 		}
 	}
 	stats.Discovered = len(seen)
+	if cfg.Obs != nil {
+		// The funnel is accumulated by the (single-goroutine) crawl loop
+		// and published once, so the counters are trivially deterministic.
+		add := func(name string, v int) { cfg.Obs.Counter(name).Add(int64(v)) }
+		add("crawler_discovered_total", stats.Discovered)
+		add("crawler_crawled_total", stats.Crawled)
+		add("crawler_firewalled_total", stats.Firewalled)
+		add("crawler_failed_total", stats.Failed)
+		add("crawler_retried_total", stats.Retried)
+		add("crawler_partial_browses_total", stats.PartialBrowses)
+		add("crawler_gaveup_total", stats.GaveUp)
+		add("crawler_records_total", len(tr.Records))
+	}
 	return tr, stats, nil
 }
 

@@ -148,7 +148,11 @@ func ChurnRepairWith(e *Env, cfg ChurnRepairConfig) (*ChurnRepairResult, error) 
 	build := func() (*gnet.Network, error) {
 		gcfg := gnet.DefaultConfig(e.Seed)
 		gcfg.FirewalledFrac = e.P.FirewalledFrac
-		return gnet.NewFromCatalog(gcfg, cat)
+		nw, err := gnet.NewFromCatalog(gcfg, cat)
+		if err == nil {
+			e.instrumentNetwork(nw)
+		}
+		return nw, err
 	}
 
 	// measure floods known-item queries from live origins; sample si of

@@ -13,7 +13,9 @@ import (
 	"querycentric/internal/catalog"
 	"querycentric/internal/crawler"
 	"querycentric/internal/daap"
+	"querycentric/internal/faults"
 	"querycentric/internal/gnet"
+	"querycentric/internal/obs"
 	"querycentric/internal/parallel"
 	"querycentric/internal/querygen"
 	"querycentric/internal/trace"
@@ -128,6 +130,17 @@ type Env struct {
 	// internal/parallel).
 	Workers int
 
+	// Obs, when non-nil, receives metrics from every subsystem the
+	// environment builds or drives (crawler funnel, flood counters, fault
+	// fires, maintenance activity) plus per-phase artifact-build timings.
+	// Attaching a registry never changes experiment results, and the
+	// metric values themselves are invariant under Workers.
+	Obs *obs.Registry
+
+	// FloodTraces, when non-nil (and Obs is attached to a network), records
+	// a bounded deterministic sample of per-flood hop traces.
+	FloodTraces *obs.FloodTraces
+
 	mu        sync.Mutex
 	objTrace  *trace.ObjectTrace
 	objStats  *crawler.Stats
@@ -145,6 +158,21 @@ func NewEnv(scale Scale, seed uint64) *Env {
 // workers resolves the environment's worker bound.
 func (e *Env) workers() int { return parallel.Workers(e.Workers) }
 
+// instrumentNetwork attaches the environment's observability plane to a
+// network the environment (or a runner) has built. Safe with a nil Obs.
+func (e *Env) instrumentNetwork(nw *gnet.Network) {
+	if e.Obs != nil {
+		nw.Instrument(e.Obs, e.FloodTraces)
+	}
+}
+
+// instrumentFaults attaches fault-fire counters to a plane a runner built.
+func (e *Env) instrumentFaults(p *faults.Plane) {
+	if e.Obs != nil {
+		p.Instrument(e.Obs)
+	}
+}
+
 // ObjectTrace builds (once) the synthetic Gnutella population, runs the
 // wire-level crawler against it and returns the observed object trace.
 func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
@@ -153,6 +181,7 @@ func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
 	if e.objTrace != nil {
 		return e.objTrace, e.objStats, nil
 	}
+	stop := e.Obs.StartPhase("env/catalog")
 	cat, err := catalog.BuildWorkers(catalog.Config{
 		Seed:                e.Seed,
 		Peers:               e.P.GnutellaPeers,
@@ -161,18 +190,31 @@ func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
 		VariantProb:         0.08,
 		NonSpecificPeerFrac: 0.05,
 	}, e.Workers)
+	stop()
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: building catalog: %w", err)
 	}
 	gcfg := gnet.DefaultConfig(e.Seed)
 	gcfg.FirewalledFrac = e.P.FirewalledFrac
+	stop = e.Obs.StartPhase("env/network")
 	nw, err := gnet.NewFromCatalogWorkers(gcfg, cat, e.Workers)
+	stop()
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: building network: %w", err)
 	}
-	tr, st, err := crawler.Crawl(nw, crawler.DefaultConfig())
+	e.instrumentNetwork(nw)
+	ccfg := crawler.DefaultConfig()
+	ccfg.Obs = e.Obs
+	stop = e.Obs.StartPhase("env/crawl")
+	tr, st, err := crawler.Crawl(nw, ccfg)
+	stop()
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: crawling: %w", err)
+	}
+	if e.Obs != nil {
+		// Population gauges, set once from this single-threaded build path.
+		e.Obs.Gauge("env_gnutella_peers").Set(int64(e.P.GnutellaPeers))
+		e.Obs.Gauge("env_object_records").Set(int64(len(tr.Records)))
 	}
 	e.objTrace, e.objStats = tr, st
 	return tr, st, nil
@@ -188,13 +230,20 @@ func (e *Env) SongTrace() (*trace.SongTrace, *daap.CrawlStats, error) {
 	cfg := daap.DefaultConfig(e.Seed)
 	cfg.Shares = e.P.Shares
 	cfg.UniqueSongs = e.P.UniqueSongs
+	stop := e.Obs.StartPhase("env/song-trace")
 	pop, err := daap.BuildPopulation(cfg)
 	if err != nil {
+		stop()
 		return nil, nil, fmt.Errorf("experiments: building shares: %w", err)
 	}
 	tr, st, err := daap.Crawl(pop)
+	stop()
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: crawling shares: %w", err)
+	}
+	if e.Obs != nil {
+		e.Obs.Gauge("env_itunes_shares").Set(int64(e.P.Shares))
+		e.Obs.Gauge("env_song_records").Set(int64(len(tr.Records)))
 	}
 	e.songTrace, e.songStats = tr, st
 	return tr, st, nil
@@ -231,9 +280,14 @@ func (e *Env) Workload() (*querygen.Workload, error) {
 	cfg.Queries = e.P.Queries
 	cfg.Duration = e.P.TraceDuration
 	cfg.FileTerms = termStrings(ranked)
+	stop := e.Obs.StartPhase("env/workload")
 	w, err := querygen.Generate(cfg)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating workload: %w", err)
+	}
+	if e.Obs != nil {
+		e.Obs.Gauge("env_workload_queries").Set(int64(len(w.Trace.Records)))
 	}
 	e.workload = w
 	return w, nil

@@ -113,6 +113,7 @@ func FaultSweepWith(e *Env, cfg FaultSweepConfig) (*FaultSweepResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: building network: %w", err)
 		}
+		e.instrumentNetwork(nw)
 		if rate > 0 {
 			plane := faults.New(faults.Config{
 				Seed:           e.Seed + uint64(i),
@@ -131,10 +132,12 @@ func FaultSweepWith(e *Env, cfg FaultSweepConfig) (*FaultSweepResult, error) {
 				}
 				plane.SetLiveness(mask)
 			}
+			e.instrumentFaults(plane)
 			nw.SetFaults(plane)
 		}
 
 		ccfg := crawler.DefaultConfig()
+		ccfg.Obs = e.Obs
 		ccfg.Seed = e.Seed
 		ccfg.MaxAttempts = cfg.MaxAttempts
 		ccfg.BackoffBase = 0 // bounded retries; no wall-clock waits in experiments

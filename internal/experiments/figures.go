@@ -12,7 +12,7 @@ import (
 // DistResult packages a Figure 1/2/3 distribution with its headline
 // statistics and the paper's reference values for EXPERIMENTS.md.
 type DistResult struct {
-	Name          string
+	Label         string
 	Report        *analysis.DistReport
 	CrawlStats    *crawler.Stats
 	SingletonFrac float64
@@ -29,7 +29,7 @@ func Fig1(e *Env) (*DistResult, error) {
 	}
 	rep := analysis.Replicas(tr, false)
 	return &DistResult{
-		Name:          "fig1-object-replicas",
+		Label:         "fig1-object-replicas",
 		Report:        rep,
 		CrawlStats:    st,
 		SingletonFrac: rep.SingletonFrac,
@@ -48,7 +48,7 @@ func Fig2(e *Env) (*DistResult, error) {
 	}
 	rep := analysis.Replicas(tr, true)
 	return &DistResult{
-		Name:          "fig2-sanitized-replicas",
+		Label:         "fig2-sanitized-replicas",
 		Report:        rep,
 		CrawlStats:    st,
 		SingletonFrac: rep.SingletonFrac,
@@ -67,7 +67,7 @@ func Fig3(e *Env) (*DistResult, error) {
 	}
 	rep := analysis.TermPeers(tr)
 	return &DistResult{
-		Name:          "fig3-term-peers",
+		Label:         "fig3-term-peers",
 		Report:        rep,
 		CrawlStats:    st,
 		SingletonFrac: rep.SingletonFrac,
@@ -137,6 +137,6 @@ func RareObjectFraction(e *Env) (*RareObjectResult, error) {
 // FormatDist renders a DistResult for reports.
 func FormatDist(r *DistResult) string {
 	return fmt.Sprintf("%s: unique=%d placements=%d singleton=%.1f%% ≤37peers=%.1f%% zipf_s=%.2f (crawl %s)",
-		r.Name, r.Report.Unique, r.Report.TotalPlacements,
+		r.Label, r.Report.Unique, r.Report.TotalPlacements,
 		100*r.SingletonFrac, 100*r.FracAtMost37, r.Report.Fit.S, r.CrawlStats)
 }

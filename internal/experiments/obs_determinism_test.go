@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"querycentric/internal/obs"
+	"querycentric/internal/parallel"
+)
+
+// runInstrumented runs one Fig8 + FaultSweep pass at the given worker
+// count, optionally with the observability plane attached, and returns the
+// marshalled experiment results plus the registry and trace recorder.
+//
+// Not parallel-safe: parallel.Instrument installs process-global
+// instrumentation, so the callers below must not use t.Parallel().
+func runInstrumented(t *testing.T, workers int, withObs bool) ([]byte, *obs.Registry, *obs.FloodTraces) {
+	t.Helper()
+	e := NewEnv(ScaleTiny, 42)
+	e.Workers = workers
+	if withObs {
+		e.Obs = obs.NewRegistry()
+		e.FloodTraces = obs.NewFloodTraces(0)
+		parallel.Instrument(e.Obs)
+		defer parallel.Instrument(nil)
+	}
+	f8, err := Fig8(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := FaultSweepWith(e, FaultSweepConfig{
+		Rates:    []float64{0, 0.3},
+		DeadFrac: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal([]any{f8, fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, e.Obs, e.FloodTraces
+}
+
+// TestMetricsDoNotChangeResults pins the plane's zero-interference
+// contract: attaching a live registry and flood-trace recorder must leave
+// every experiment result byte-identical to a bare run.
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	bare, _, _ := runInstrumented(t, 2, false)
+	instrumented, reg, _ := runInstrumented(t, 2, true)
+	if string(bare) != string(instrumented) {
+		t.Fatalf("attaching the observability plane changed experiment results:\n%s\nvs\n%s",
+			bare, instrumented)
+	}
+	if len(reg.Snapshot().Metrics) == 0 {
+		t.Fatal("instrumented run recorded no metrics")
+	}
+}
+
+// TestMetricsSnapshotWorkerInvariance pins the other half of the contract:
+// with the plane enabled, the metrics snapshot, the sampled flood traces
+// and the manifest fingerprint are identical at 1 and 8 workers.
+func TestMetricsSnapshotWorkerInvariance(t *testing.T) {
+	manifest := func(workers int) (*obs.Manifest, []byte) {
+		_, reg, traces := runInstrumented(t, workers, true)
+		m := &obs.Manifest{
+			Command: "determinism-test", Mode: "fig8+faults", Scale: "tiny",
+			Seed: 42, Workers: workers,
+			Metrics:     reg.Snapshot(),
+			FloodTraces: traces.Snapshot(),
+		}
+		m.Finalize()
+		snap, err := json.Marshal(m.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, snap
+	}
+	m1, snap1 := manifest(1)
+	m8, snap8 := manifest(8)
+	if string(snap1) != string(snap8) {
+		t.Fatalf("metrics snapshot diverged between workers=1 and workers=8:\n%s\nvs\n%s",
+			snap1, snap8)
+	}
+	if len(m1.FloodTraces) != len(m8.FloodTraces) {
+		t.Fatalf("flood-trace sample size diverged: %d vs %d",
+			len(m1.FloodTraces), len(m8.FloodTraces))
+	}
+	if m1.Fingerprint != m8.Fingerprint {
+		t.Fatalf("manifest fingerprint diverged between workers=1 and workers=8: %s vs %s",
+			m1.Fingerprint, m8.Fingerprint)
+	}
+}

@@ -43,6 +43,7 @@ func QRPEffect(e *Env) (*QRPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.instrumentNetwork(nw)
 
 	// Build the query list: 30% findable (two tokens of a random shared
 	// name), 70% mismatched (query-vocabulary words absent from content).

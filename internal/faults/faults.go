@@ -15,6 +15,7 @@ package faults
 import (
 	"sync"
 
+	"querycentric/internal/obs"
 	"querycentric/internal/rng"
 )
 
@@ -71,9 +72,60 @@ const (
 type Plane struct {
 	cfg Config
 
+	// om holds the per-site fired counters published to an attached
+	// observability registry. The zero value (all-nil handles) records
+	// nothing; Counter increments on nil handles are no-ops, so injection
+	// sites never branch on whether a registry is attached.
+	om planeObs
+
 	mu       sync.Mutex
 	counters map[counterKey]uint64
 	alive    []bool // liveness mask; nil means every peer is alive
+}
+
+// planeObs carries one fired-event counter per injection site.
+type planeObs struct {
+	dial, handshake, reset, truncate, depart, loss *obs.Counter
+}
+
+// Instrument attaches fired-event counters (faults_<site>_fired_total) to
+// reg; a nil reg detaches. Counts are sums of independent fire decisions,
+// so they are invariant under scheduling. Attach before the plane is
+// shared across goroutines: the handles are written without locking.
+func (p *Plane) Instrument(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	if reg == nil {
+		p.om = planeObs{}
+		return
+	}
+	p.om = planeObs{
+		dial:      reg.Counter("faults_dial_fired_total"),
+		handshake: reg.Counter("faults_handshake_fired_total"),
+		reset:     reg.Counter("faults_reset_fired_total"),
+		truncate:  reg.Counter("faults_truncate_fired_total"),
+		depart:    reg.Counter("faults_depart_fired_total"),
+		loss:      reg.Counter("faults_loss_fired_total"),
+	}
+}
+
+// fired records one fire decision at site.
+func (p *Plane) fired(site string) {
+	switch site {
+	case siteDial:
+		p.om.dial.Inc()
+	case siteHandshake:
+		p.om.handshake.Inc()
+	case siteReset:
+		p.om.reset.Inc()
+	case siteTruncate:
+		p.om.truncate.Inc()
+	case siteDepart:
+		p.om.depart.Inc()
+	case siteLoss:
+		p.om.loss.Inc()
+	}
 }
 
 type counterKey struct {
@@ -163,6 +215,7 @@ func (p *Plane) roll(site string, key uint64, prob float64) (*rng.Source, bool) 
 	if !r.Bool(prob) {
 		return nil, false
 	}
+	p.fired(site)
 	return r, true
 }
 
@@ -245,5 +298,9 @@ func (p *Plane) MessageLossAt(salt uint64, to int, n uint64) bool {
 	}
 	derived := p.cfg.Seed ^ (salt * 0x94d049bb133111eb) ^
 		(uint64(to) * 0x9e3779b97f4a7c15) ^ (n * 0xbf58476d1ce4e5b9)
-	return rng.NewNamed(derived, siteLoss).Bool(prob)
+	if rng.NewNamed(derived, siteLoss).Bool(prob) {
+		p.om.loss.Inc()
+		return true
+	}
+	return false
 }

@@ -8,6 +8,7 @@ import (
 	"querycentric/internal/dict"
 	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
+	"querycentric/internal/obs"
 	"querycentric/internal/qrp"
 	"querycentric/internal/rng"
 )
@@ -161,6 +162,15 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 		return alive != nil && int(to) < len(alive) && !alive[to]
 	}
 
+	// Observability: local tallies accumulated in registers and published
+	// once at flood end, so the disabled plane costs one nil check and the
+	// enabled one a handful of atomic adds per flood. perRing is only
+	// tracked when a hop-trace recorder is attached.
+	ob := nw.obs
+	tracing := ob != nil && ob.traces.Enabled()
+	var perRing []int
+	var deadDrops, lossDrops, qrpSkipped int
+
 	raw, err := gmsg.Encode(q)
 	if err != nil {
 		return nil, err
@@ -182,6 +192,7 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 		}
 		hops := int(m.Header.Hops) + 1
 		forwards := m.Header.TTL > 1
+		ringStart := res.PeersReached
 		var fraw []byte // next ring's bytes, encoded once on first use
 		for _, to := range frontier {
 			if c.seen[to] == epoch {
@@ -191,7 +202,12 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 			// is transmitted (already counted) but not delivered. Neither
 			// marks the peer seen, so a copy arriving over another overlay
 			// edge may still get through.
-			if dead(to) || (lossy && c.lost(plane, salt, to)) {
+			if dead(to) {
+				deadDrops++
+				continue
+			}
+			if lossy && c.lost(plane, salt, to) {
+				lossDrops++
 				continue
 			}
 			c.seen[to] = epoch
@@ -231,14 +247,40 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 				// Last-hop QRP filtering: do not waste a message on a
 				// leaf whose route table cannot match.
 				if !nw.qrpAllowsHoisted(nb, hoist) {
+					qrpSkipped++
 					continue
 				}
 				next = append(next, int32(nb))
 				res.Messages++
 			}
 		}
+		if tracing {
+			perRing = append(perRing, res.PeersReached-ringStart)
+		}
 		frontier, next = next, frontier[:0]
 		raw = fraw
+	}
+	if ob != nil {
+		ob.floods.Inc()
+		ob.messages.Add(int64(res.Messages))
+		ob.reached.Add(int64(res.PeersReached))
+		ob.results.Add(int64(res.TotalResults))
+		ob.deadDrops.Add(int64(deadDrops))
+		ob.lossDrops.Add(int64(lossDrops))
+		ob.qrpSuppressed.Add(int64(qrpSkipped))
+		ob.msgPerFlood.Observe(int64(res.Messages))
+		for _, h := range res.Hits {
+			ob.hitHops.Observe(int64(h.Hops))
+		}
+		if tracing {
+			// Keyed by the flood salt — the flood's own trial randomness —
+			// so the recorder's bounded retention is a deterministic uniform
+			// sample of the run's floods at any worker count.
+			ob.traces.Record(obs.FloodTrace{
+				Key: salt, Origin: origin, TTL: ttl, Criteria: criteria,
+				PerRing: perRing, Messages: res.Messages, Results: res.TotalResults,
+			})
+		}
 	}
 	return res, nil
 }

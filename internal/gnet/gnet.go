@@ -114,6 +114,10 @@ type Network struct {
 	// faults is the injection plane consulted by Dial, servent sessions
 	// and Flood; nil injects nothing (see SetFaults).
 	faults *faults.Plane
+
+	// obs is the attached observability plane; nil (the default) records
+	// nothing and costs one pointer check per flood (see Instrument).
+	obs *netObs
 }
 
 // EnableQRP builds a QRP table for every leaf from its shared library, as

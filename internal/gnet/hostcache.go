@@ -1,6 +1,7 @@
 package gnet
 
 import (
+	"querycentric/internal/obs"
 	"querycentric/internal/rng"
 )
 
@@ -17,6 +18,11 @@ type HostCache struct {
 	capacity int
 	addrs    []Addr
 	index    map[Addr]struct{}
+
+	// adds/evicts publish cache pressure to an attached observability
+	// registry; nil (the default) records nothing (see Instrument).
+	adds   *obs.Counter
+	evicts *obs.Counter
 }
 
 // NewHostCache returns an empty cache bounded to capacity entries
@@ -41,6 +47,11 @@ func (hc *HostCache) Contains(a Addr) bool {
 	return ok
 }
 
+// Instrument attaches add/eviction counters (either may be nil).
+func (hc *HostCache) Instrument(adds, evicts *obs.Counter) {
+	hc.adds, hc.evicts = adds, evicts
+}
+
 // Add inserts a, evicting the oldest entry when the cache is full. It
 // reports whether the address was new.
 func (hc *HostCache) Add(a Addr) bool {
@@ -51,7 +62,9 @@ func (hc *HostCache) Add(a Addr) bool {
 		oldest := hc.addrs[0]
 		hc.addrs = hc.addrs[1:]
 		delete(hc.index, oldest)
+		hc.evicts.Inc()
 	}
+	hc.adds.Inc()
 	hc.addrs = append(hc.addrs, a)
 	hc.index[a] = struct{}{}
 	return true

@@ -5,6 +5,7 @@ import (
 
 	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
+	"querycentric/internal/obs"
 	"querycentric/internal/rng"
 )
 
@@ -135,6 +136,11 @@ type Maintainer struct {
 	base    *rng.Source
 	round   int64
 	stats   RepairStats
+
+	// om mirrors the RepairStats increments into live registry counters
+	// when the network is instrumented; its zero value (nil handles) is a
+	// no-op, so the increments below run unconditionally.
+	om maintMetrics
 }
 
 // NewMaintainer wires a maintainer to nw. initialOnline seeds the liveness
@@ -160,6 +166,12 @@ func NewMaintainer(nw *Network, cfg RepairConfig, initialOnline []bool) (*Mainta
 		retryAt: make([]map[Addr]int64, n),
 		base:    rng.NewNamed(cfg.Seed, "gnet/repair"),
 	}
+	var hostAdds, hostEvicts *obs.Counter
+	if nw.obs != nil {
+		m.om = newMaintMetrics(nw.obs.reg)
+		hostAdds = nw.obs.reg.Counter("gnet_hostcache_adds_total")
+		hostEvicts = nw.obs.reg.Counter("gnet_hostcache_evictions_total")
+	}
 	for i := 0; i < n; i++ {
 		if initialOnline == nil {
 			m.online[i] = true
@@ -167,6 +179,7 @@ func NewMaintainer(nw *Network, cfg RepairConfig, initialOnline []bool) (*Mainta
 			m.online[i] = initialOnline[i]
 		}
 		m.caches[i] = NewHostCache(cfg.HostCacheSize)
+		m.caches[i].Instrument(hostAdds, hostEvicts)
 	}
 	if len(m.cfg.Bootstrap) == 0 {
 		m.cfg.Bootstrap = defaultBootstrap(nw)
@@ -244,10 +257,12 @@ func (m *Maintainer) PeerDown(id int, polite bool) error {
 	m.online[id] = false
 	m.missed[id] = nil
 	m.stats.Departures++
+	m.om.departures.Inc()
 	if !polite {
 		return nil
 	}
 	m.stats.PoliteDepartures++
+	m.om.politeDepartures.Inc()
 	raw, err := gmsg.Encode(&gmsg.Message{
 		Header: gmsg.Header{GUID: gmsg.GUIDFromUint64s(uint64(id), m.seq[id]), Type: gmsg.TypeBye, TTL: 1},
 		Bye:    &gmsg.Bye{Code: gmsg.ByeCodeShutdown, Reason: "session over"},
@@ -268,6 +283,7 @@ func (m *Maintainer) PeerDown(id int, polite bool) error {
 		}
 		if m.online[nb] {
 			m.stats.ByesReceived++
+			m.om.byesReceived.Inc()
 		}
 	}
 	return nil
@@ -287,6 +303,7 @@ func (m *Maintainer) PeerUp(id int, now int64) error {
 	m.online[id] = true
 	m.missed[id] = nil
 	m.stats.Arrivals++
+	m.om.arrivals.Inc()
 	if !m.cfg.Repair {
 		return nil
 	}
@@ -343,12 +360,14 @@ func (m *Maintainer) pingNeighbors(u int, r *rng.Source) {
 	salt := m.pingSalt(u)
 	for _, v := range neighbors {
 		m.stats.PingsSent++
+		m.om.pingsSent.Inc()
 		answered := false
 		if m.online[v] {
 			lostPing := m.plane.MessageLossAt(salt, v, 0)
 			lostPong := m.plane.MessageLossAt(salt, u, uint64(v)+1)
 			if lostPing || lostPong {
 				m.stats.PingsLost++
+				m.om.pingsLost.Inc()
 			} else {
 				answered = true
 				m.receivePongs(u, v, pingRaw)
@@ -371,6 +390,7 @@ func (m *Maintainer) pingNeighbors(u int, r *rng.Source) {
 				delete(m.missed[v], u)
 			}
 			m.stats.FailuresDetected++
+			m.om.failuresDetected.Inc()
 		}
 	}
 }
@@ -387,6 +407,7 @@ func (m *Maintainer) receivePongs(u, v int, pingRaw []byte) {
 		panic(fmt.Sprintf("gnet: ping decode: %v", err))
 	}
 	m.stats.PongsReceived++
+	m.om.pongsReceived.Inc()
 	answer := func(q *Peer, hops byte) {
 		raw, err := gmsg.Encode(&gmsg.Message{
 			Header: gmsg.Header{GUID: ping.Header.GUID, Type: gmsg.TypePong, TTL: ping.Header.Hops + 1, Hops: hops},
@@ -516,12 +537,14 @@ func (m *Maintainer) connectToward(u int, now int64, r *rng.Source) {
 			return
 		}
 		m.stats.RepairAttempts++
+		m.om.repairAttempts.Inc()
 		cand := nw.PeerByAddr(addr)
 		if m.online[cand.ID] && !m.plane.DialTimeout(cand.ID) && m.acceptsConnection(u, cand) {
 			if err := nw.ConnectPeers(u, cand.ID); err != nil {
 				panic(err) // keep filtered self and duplicates already
 			}
 			m.stats.RepairSuccesses++
+			m.om.repairSuccesses.Inc()
 			if m.fails[u] != nil {
 				delete(m.fails[u], addr)
 				delete(m.retryAt[u], addr)
@@ -537,6 +560,7 @@ func (m *Maintainer) connectToward(u int, now int64, r *rng.Source) {
 			continue
 		}
 		m.stats.RepairFailures++
+		m.om.repairFailures.Inc()
 		if m.fails[u] == nil {
 			m.fails[u] = make(map[Addr]int)
 			m.retryAt[u] = make(map[Addr]int64)

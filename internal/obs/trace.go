@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// FloodTrace is one flood's hop-resolved footprint: how many peers each
+// TTL ring reached, plus the flood's cost and yield. Key is the flood's
+// fault salt — a pure function of the flood's own GUID randomness — so a
+// trace's identity is deterministic at any worker count.
+type FloodTrace struct {
+	Key      uint64 `json:"key"`
+	Origin   int    `json:"origin"`
+	TTL      int    `json:"ttl"`
+	Criteria string `json:"criteria,omitempty"`
+	// PerRing[i] is the number of peers first reached at hop depth i+1.
+	PerRing  []int `json:"per_ring"`
+	Messages int   `json:"messages"`
+	Results  int   `json:"results"`
+}
+
+// DefaultFloodTraceCap bounds the recorder when no explicit capacity is
+// given: enough floods to see ring-by-ring structure, small enough that a
+// manifest stays readable.
+const DefaultFloodTraceCap = 64
+
+// FloodTraces is a bounded, deterministic per-flood trace recorder. It
+// retains the capacity traces with the smallest keys. Because keys are
+// uniform per-flood randomness, the retained set is a uniform sample of
+// the run's floods — and because "smallest keys" is a property of the
+// trace set, not of arrival order, the retained sample is byte-identical
+// at any worker count and any scheduling. Safe for concurrent use.
+type FloodTraces struct {
+	mu  sync.Mutex
+	cap int
+	m   map[uint64]FloodTrace
+}
+
+// NewFloodTraces returns a recorder bounded to capacity traces
+// (capacity <= 0 falls back to DefaultFloodTraceCap).
+func NewFloodTraces(capacity int) *FloodTraces {
+	if capacity <= 0 {
+		capacity = DefaultFloodTraceCap
+	}
+	return &FloodTraces{cap: capacity, m: make(map[uint64]FloodTrace, capacity)}
+}
+
+// Enabled reports whether the recorder exists; hot paths gate their
+// per-ring bookkeeping on it.
+func (t *FloodTraces) Enabled() bool { return t != nil }
+
+// Record offers one trace. Kept if the recorder has room or the key is
+// smaller than the current largest retained key (which is then evicted).
+// Re-recording an existing key overwrites it — with deterministic inputs
+// both records are identical anyway. Nil-safe no-op.
+func (t *FloodTraces) Record(tr FloodTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[tr.Key]; ok || len(t.m) < t.cap {
+		t.m[tr.Key] = tr
+		return
+	}
+	var maxKey uint64
+	for k := range t.m {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	if tr.Key >= maxKey {
+		return
+	}
+	delete(t.m, maxKey)
+	t.m[tr.Key] = tr
+}
+
+// Len returns the number of retained traces.
+func (t *FloodTraces) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Snapshot returns the retained traces sorted by key (never nil).
+func (t *FloodTraces) Snapshot() []FloodTrace {
+	out := []FloodTrace{}
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range t.m {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"testing"
+
+	"querycentric/internal/obs"
+)
+
+// Deliberately not t.Parallel(): Instrument installs process-global state
+// and concurrent engine users would pollute the counts.
+func TestInstrumentCountsBatchesAndUnits(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	for _, workers := range []int{1, 4} {
+		if _, err := Map(workers, 10, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty batches must not count.
+	if _, err := Map(2, 0, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("parallel_batches_total").Value(); got != 2 {
+		t.Errorf("batches = %d, want 2", got)
+	}
+	if got := reg.Counter("parallel_map_units_total").Value(); got != 20 {
+		t.Errorf("units = %d, want 20", got)
+	}
+
+	Instrument(nil)
+	if _, err := Map(1, 5, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("parallel_batches_total").Value(); got != 2 {
+		t.Errorf("batches after detach = %d, want 2", got)
+	}
+}

@@ -18,7 +18,36 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"querycentric/internal/obs"
 )
+
+// instr is the process-global observability attachment for the trial
+// engine. Generic functions cannot hang methods off a receiver without
+// threading a handle through every call site, so instrumentation is
+// installed once per process (by the command entry point) via Instrument.
+// Batch and unit counts are schedule-invariant: one batch per MapWith
+// call, one unit per index, regardless of worker count.
+var instr atomic.Pointer[engineObs]
+
+type engineObs struct {
+	batches *obs.Counter // parallel_batches_total: MapWith invocations
+	units   *obs.Counter // parallel_map_units_total: indices executed
+}
+
+// Instrument publishes engine activity to reg (nil detaches). Intended to
+// be called once at process start; tests that install a registry must not
+// run in parallel with other tests using the engine.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&engineObs{
+		batches: reg.Counter("parallel_batches_total"),
+		units:   reg.Counter("parallel_map_units_total"),
+	})
+}
 
 // Workers resolves a requested worker count: values above zero are taken
 // as-is, anything else means "one worker per available CPU" (GOMAXPROCS).
@@ -56,6 +85,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 func MapWith[S, T any](workers, n int, newScratch func() S, fn func(scratch S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ob := instr.Load(); ob != nil {
+		ob.batches.Inc()
+		ob.units.Add(int64(n))
 	}
 	workers = Workers(workers)
 	if workers > n {

@@ -22,8 +22,41 @@
 package querycentric
 
 import (
+	"io"
+
 	"querycentric/internal/experiments"
+	"querycentric/internal/obs"
 )
+
+// Observability plane (see internal/obs): a deterministic metrics/event
+// layer every subsystem can publish into. Disabled (nil) it costs nothing
+// and changes nothing; enabled, its snapshots are byte-identical at every
+// worker count.
+type (
+	Registry       = obs.Registry
+	Snapshot       = obs.Snapshot
+	SnapshotMetric = obs.SnapshotMetric
+	MetricBucket   = obs.Bucket
+	FloodTraces    = obs.FloodTraces
+	FloodTrace     = obs.FloodTrace
+	RunManifest    = obs.Manifest
+	PhaseTiming    = obs.PhaseTiming
+)
+
+// Observability constructors and helpers.
+var (
+	NewRegistry    = obs.NewRegistry
+	NewFloodTraces = obs.NewFloodTraces
+	RunFileName    = obs.RunFileName
+)
+
+// Result is implemented by every experiment result type: a stable name
+// and the tab-separated table qc-sim and qc-figures render. Table()[0] is
+// the header row (without the leading "# ").
+type Result = experiments.Result
+
+// WriteResultTable renders a Result as a commented-header TSV table.
+func WriteResultTable(w io.Writer, r Result) error { return experiments.WriteTable(w, r) }
 
 // Scale selects experiment sizing (tiny/small/default/full).
 type Scale = experiments.Scale
@@ -76,6 +109,9 @@ func Fig4(e *Env) (*Fig4Result, error) { return experiments.Fig4(e) }
 
 // Fig5 reproduces Figure 5 (transiently popular terms per interval).
 func Fig5(e *Env) (*Fig5Result, error) { return experiments.Fig5(e) }
+
+// Fig5Intervals are the evaluation intervals swept by Fig5 (seconds).
+var Fig5Intervals = experiments.Fig5Intervals
 
 // Fig6 reproduces Figure 6 (popular-term stability).
 func Fig6(e *Env) (*Fig6Result, error) { return experiments.Fig6(e) }

@@ -2,6 +2,7 @@ package querycentric
 
 import (
 	"querycentric/internal/chord"
+	"querycentric/internal/churn"
 	"querycentric/internal/gia"
 	"querycentric/internal/hybrid"
 	"querycentric/internal/overlay"
@@ -9,6 +10,21 @@ import (
 	"querycentric/internal/rng"
 	"querycentric/internal/search"
 	"querycentric/internal/synopsis"
+)
+
+// Session-churn timelines: the deterministic arrival/departure schedules
+// the churn and repair experiments replay (see internal/churn).
+type (
+	ChurnTimeline       = churn.Timeline
+	ChurnEvent          = churn.Event
+	ChurnTimelineConfig = churn.TimelineConfig
+	ChurnSample         = churn.Sample
+)
+
+// Churn timeline constructors.
+var (
+	GenerateChurnTimeline      = churn.GenerateTimeline
+	DefaultChurnTimelineConfig = churn.DefaultTimelineConfig
 )
 
 // Overlay graph substrate.

@@ -7,11 +7,68 @@ import (
 	"querycentric/internal/catalog"
 	"querycentric/internal/crawler"
 	"querycentric/internal/daap"
+	"querycentric/internal/dict"
 	"querycentric/internal/faults"
 	"querycentric/internal/gnet"
 	"querycentric/internal/querygen"
 	"querycentric/internal/trace"
 )
+
+// Wire-level Gnutella substrate: the in-process network the crawler and
+// flood experiments run against (see internal/gnet).
+type (
+	Network       = gnet.Network
+	NetworkConfig = gnet.Config
+	Addr          = gnet.Addr
+	FloodCtx      = gnet.FloodCtx
+	FloodResult   = gnet.FloodResult
+	FloodHit      = gnet.Hit
+)
+
+// Wire-substrate constructors.
+var (
+	DefaultNetworkConfig  = gnet.DefaultConfig
+	NewNetworkFromCatalog = gnet.NewFromCatalog
+)
+
+// Content catalog: the calibrated synthetic population a network is built
+// from (see internal/catalog).
+type (
+	Catalog       = catalog.Catalog
+	CatalogConfig = catalog.Config
+)
+
+// BuildCatalog builds a calibrated content catalog.
+var BuildCatalog = catalog.Build
+
+// Overlay maintenance: ping/pong failure detection and host-cache repair
+// (see internal/gnet's Maintainer).
+type (
+	Maintainer   = gnet.Maintainer
+	RepairConfig = gnet.RepairConfig
+	RepairStats  = gnet.RepairStats
+	HostCache    = gnet.HostCache
+)
+
+// Maintenance constructors and knobs.
+var (
+	NewMaintainer       = gnet.NewMaintainer
+	DefaultRepairConfig = gnet.DefaultRepairConfig
+	NewHostCache        = gnet.NewHostCache
+)
+
+// DefaultHostCacheSize bounds a peer's candidate-address pool.
+const DefaultHostCacheSize = gnet.DefaultHostCacheSize
+
+// Term dictionary: the global interning table behind the compact
+// integer-ID posting indexes (see internal/dict).
+type (
+	Dictionary = dict.Dict
+	TermID     = dict.TermID
+)
+
+// NoTerm is the sentinel TermID for tokens absent from the dictionary.
+const NoTerm = dict.NoTerm
 
 // FaultConfig holds the injectable substrate fault probabilities; the zero
 // value disables every fault (see internal/faults).
@@ -62,6 +119,12 @@ type GnutellaCrawlConfig struct {
 	// MaxAttempts bounds the crawler's per-peer attempt budget for
 	// transient failures (0 → the crawler default of 3).
 	MaxAttempts int
+	// Obs, when non-nil, receives the crawl funnel, flood counters and
+	// fault-fire counts. Attaching a registry never changes the trace.
+	Obs *Registry
+	// FloodTraces, when non-nil alongside Obs, records a bounded
+	// deterministic sample of per-flood hop traces.
+	FloodTraces *FloodTraces
 }
 
 // GnutellaCrawl builds a calibrated content population, stands up the
@@ -85,11 +148,17 @@ func GnutellaCrawl(cfg GnutellaCrawlConfig) (*ObjectTrace, *CrawlStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.Obs != nil {
+		nw.Instrument(cfg.Obs, cfg.FloodTraces)
+	}
 	if cfg.Faults.Enabled() {
-		nw.SetFaults(faults.New(cfg.Faults))
+		plane := faults.New(cfg.Faults)
+		plane.Instrument(cfg.Obs)
+		nw.SetFaults(plane)
 	}
 	ccfg := crawler.DefaultConfig()
 	ccfg.Seed = cfg.Seed
+	ccfg.Obs = cfg.Obs
 	if cfg.MaxAttempts > 0 {
 		ccfg.MaxAttempts = cfg.MaxAttempts
 	}
