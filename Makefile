@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench scalefull-smoke api-freeze obs-overhead-smoke ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events recovery-smoke scalefull-smoke api-freeze obs-overhead-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -21,22 +21,41 @@ race:
 
 # Byte-identical results at 1 vs 8 workers across the experiment runners,
 # including the ChurnRepair repair timeline (the golden determinism check
-# on overlay maintenance), plus the observability-plane contract: attaching
+# on overlay maintenance) and the event-engine recovery curve with its
+# windowed metric series, plus the observability-plane contract: attaching
 # metrics never changes results, and enabled-metrics snapshots/manifest
 # fingerprints are identical at any worker count.
 determinism:
-	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance' ./internal/experiments/
+	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance|TestRecoveryWindowWorkerInvariance' ./internal/experiments/
+	$(GO) test -race -run 'TestScenarioDeterministicAndWorkerInvariant' ./internal/events/
 
-# Short fuzz of the wire-message decoder: five seconds of mutation over the
-# seeded descriptor corpus must surface no panics or over-reads.
+# Short fuzz of the wire-message decoder and the churn-timeline generator:
+# five seconds of mutation each must surface no panics, over-reads or
+# contract violations (ordering, alternation, determinism).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=5s -run '^$$' ./internal/gmsg
+	$(GO) test -fuzz=FuzzTimelineConfig -fuzztime=5s -run '^$$' ./internal/churn
 
 # Flood hot-path, parallel-engine and term-index measurements ->
 # BENCH_flood.json (the index section compares interned vs legacy string
 # indexes at the default scale).
 bench:
 	$(GO) run ./cmd/qc-bench -o BENCH_flood.json -scale small -index-scale default
+
+# Discrete-event engine throughput -> BENCH_events.json: queue-dispatch
+# micro-benchmarks plus a full steady-state scenario at the small scale.
+bench-events:
+	$(GO) run ./cmd/qc-bench -events -o BENCH_events.json -scale small
+
+# Recovery smoke: a tiny-scale correlated-crash run through the CLI must end
+# with the repaired overlay no worse than the unrepaired one.
+recovery-smoke:
+	@$(GO) run ./cmd/qc-sim -mode recovery -scale tiny | awk ' \
+		$$1 == "#" && $$2 == "final_success" { rep = $$3; norep = $$4 } \
+		END { \
+			if (rep == "" || norep == "") { print "recovery-smoke: final_success row missing"; exit 1 }; \
+			if (rep + 0 < norep + 0) { printf "recovery-smoke: FAIL repaired %s < no-repair %s\n", rep, norep; exit 1 }; \
+			printf "recovery-smoke: ok (repaired %s >= no-repair %s)\n", rep, norep }'
 
 # Paper-scale construction smoke: build the ScaleFull catalog + network +
 # interned indexes (no trials, no legacy twin) under a wall-clock budget so
@@ -61,9 +80,10 @@ obs-overhead-smoke:
 
 # The CI gate: static checks, formatting, a clean build, the full suite
 # under the race detector, the workers=8 determinism regression, the
-# decoder fuzz smoke, the API freeze, the metrics-overhead smoke and the
-# paper-scale construction smoke.
-ci: vet fmt-check build race determinism fuzz-smoke api-freeze obs-overhead-smoke scalefull-smoke
+# decoder and churn-timeline fuzz smokes, the fault-burst recovery smoke,
+# the API freeze, the metrics-overhead smoke and the paper-scale
+# construction smoke.
+ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke api-freeze obs-overhead-smoke scalefull-smoke
 
 check: ci
 

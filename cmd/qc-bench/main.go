@@ -26,11 +26,16 @@
 // instrumented flood is more than 10% slower than both the detached
 // same-run baseline and the flood_ctx row recorded in -o (when present).
 //
+// With -events the command instead measures the discrete-event engine
+// (internal/events): pure queue-dispatch micro-benchmarks plus a full
+// steady-state scenario at -scale, written as BENCH_events.json.
+//
 // Usage:
 //
 //	qc-bench -o BENCH_flood.json -scale tiny
 //	qc-bench -index-only -index-scale full -index-legacy=false -budget 15m
 //	qc-bench -obs-overhead -peers 500 -benchtime 100ms
+//	qc-bench -events -o BENCH_events.json -scale small
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	qc "querycentric"
 	"querycentric/internal/catalog"
 	"querycentric/internal/cliflags"
+	"querycentric/internal/events"
 	"querycentric/internal/experiments"
 	"querycentric/internal/gmsg"
 	"querycentric/internal/gnet"
@@ -107,6 +113,29 @@ type IndexBench struct {
 	WithinBudget  bool    `json:"within_budget"`
 }
 
+// EventsBench records discrete-event engine throughput (the -events
+// section, BENCH_events.json): two pure dispatch micro-benchmarks on the
+// priority queue — a self-rescheduling tick chain (shallow queue, the
+// maintenance-cycle shape) and a fully pre-scheduled run (deep queue, the
+// worst-case heap depth) — plus one complete steady-state scenario at a
+// real scale, where events carry network maintenance and query-batch work.
+type EventsBench struct {
+	DispatchEvents    int     `json:"dispatch_events"`
+	ChainNsPerEvent   float64 `json:"dispatch_chain_ns_per_event"`
+	ChainEventsPerSec float64 `json:"dispatch_chain_events_per_sec"`
+	WideNsPerEvent    float64 `json:"dispatch_wide_ns_per_event"`
+	WideEventsPerSec  float64 `json:"dispatch_wide_events_per_sec"`
+
+	Scale                 string  `json:"scale"`
+	Peers                 int     `json:"peers"`
+	ScenarioHorizon       int64   `json:"scenario_horizon_s"`
+	ScenarioEvents        uint64  `json:"scenario_events"`
+	ScenarioQueries       int     `json:"scenario_queries"`
+	ScenarioSeconds       float64 `json:"scenario_wall_seconds"`
+	ScenarioEventsPerSec  float64 `json:"scenario_events_per_sec"`
+	ScenarioQueriesPerSec float64 `json:"scenario_queries_per_sec"`
+}
+
 // Report is the BENCH_flood.json schema.
 type Report struct {
 	GoVersion  string `json:"go_version"`
@@ -125,6 +154,8 @@ type Report struct {
 
 	Index *IndexBench `json:"index,omitempty"`
 
+	Events *EventsBench `json:"events,omitempty"`
+
 	Note string `json:"note"`
 }
 
@@ -141,6 +172,7 @@ func main() {
 		indexLegac  = flag.Bool("index-legacy", true, "also build the legacy string index for a before/after comparison")
 		budget      = flag.Duration("budget", 0, "fail if the index section's construction phases exceed this wall-clock budget (0 = no budget)")
 		obsOverhead = flag.Bool("obs-overhead", false, "run only the observability-plane overhead smoke (exit 1 if instrumented floods are >10% slower)")
+		eventsOnly  = flag.Bool("events", false, "run only the discrete-event engine throughput section (BENCH_events.json)")
 	)
 	flag.Parse()
 	if err := cliflags.CheckPositive("-peers", *peers); err != nil {
@@ -161,6 +193,20 @@ func main() {
 			"query stream; fig8 speedups are bounded above by gomaxprocs; " +
 			"the index section compares the interned term index against the " +
 			"retained string-keyed path built from the same catalog.",
+	}
+
+	if *eventsOnly {
+		eb, err := runEventsBench(*scaleName, *seed, *benchtime)
+		if err != nil {
+			fail(err)
+		}
+		rep.Events = eb
+		rep.Note = "dispatch rows isolate the event queue (handlers only " +
+			"reschedule); the scenario row runs a full steady-state scenario " +
+			"where events carry maintenance rounds and query batches, so its " +
+			"events/sec is dominated by handler work, not the queue."
+		writeReport(rep, *out)
+		return
 	}
 
 	if !*indexOnly {
@@ -227,20 +273,144 @@ func main() {
 	}
 	rep.Index = ib
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fail(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "qc-bench: wrote %s\n", *out)
+	writeReport(rep, *out)
 	if !ib.WithinBudget {
 		fmt.Fprintf(os.Stderr, "qc-bench: index construction exceeded budget (%.1fs > %.1fs)\n",
 			ib.CatalogSeconds+ib.NetworkSeconds+ib.IndexBuildSeconds, ib.BudgetSeconds)
 		os.Exit(1)
 	}
+}
+
+// writeReport marshals the report to path.
+func writeReport(rep Report, path string) {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: wrote %s\n", path)
+}
+
+// runEventsBench measures discrete-event engine throughput: the queue in
+// isolation (two dispatch shapes) and a full steady-state scenario at one
+// scale.
+func runEventsBench(scaleName string, seed uint64, benchtime time.Duration) (*EventsBench, error) {
+	const dispatchEvents = 1 << 12
+	eb := &EventsBench{DispatchEvents: dispatchEvents, Scale: scaleName}
+
+	// Chain shape: one self-rescheduling tick per simulated second — the
+	// maintenance-cycle pattern, queue depth stays at 1.
+	chain := runBench("events_dispatch_chain", benchtime, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := events.New(seed, dispatchEvents)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tick events.Handler
+			tick = func(now int64, _ *rng.Source) error {
+				if now >= dispatchEvents {
+					return nil
+				}
+				return eng.Schedule(now+1, events.PrioMaint, fmt.Sprintf("tick/%d", now+1), tick)
+			}
+			if err := eng.Schedule(1, events.PrioMaint, "tick/1", tick); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if eng.Processed() != dispatchEvents {
+				b.Fatalf("processed %d events, want %d", eng.Processed(), dispatchEvents)
+			}
+		}
+	})
+	eb.ChainNsPerEvent = chain.NsPerOp / dispatchEvents
+	if eb.ChainNsPerEvent > 0 {
+		eb.ChainEventsPerSec = 1e9 / eb.ChainNsPerEvent
+	}
+
+	// Wide shape: everything pre-scheduled with interleaved priorities, so
+	// dispatch pays full heap depth (the fault-burst / flash-crowd pattern).
+	prios := []events.Priority{
+		events.PrioChurn, events.PrioFault, events.PrioMaint,
+		events.PrioQuery, events.PrioWindow,
+	}
+	noop := func(int64, *rng.Source) error { return nil }
+	wide := runBench("events_dispatch_wide", benchtime, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := events.New(seed, dispatchEvents)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < dispatchEvents; j++ {
+				at := int64(j%dispatchEvents) + 1
+				if err := eng.Schedule(at, prios[j%len(prios)], fmt.Sprintf("ev/%d", j), noop); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if eng.Processed() != dispatchEvents {
+				b.Fatalf("processed %d events, want %d", eng.Processed(), dispatchEvents)
+			}
+		}
+	})
+	eb.WideNsPerEvent = wide.NsPerOp / dispatchEvents
+	if eb.WideNsPerEvent > 0 {
+		eb.WideEventsPerSec = 1e9 / eb.WideNsPerEvent
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: events dispatch chain %.0f ns/event (%.2fM events/s), wide %.0f ns/event (%.2fM events/s)\n",
+		eb.ChainNsPerEvent, eb.ChainEventsPerSec/1e6, eb.WideNsPerEvent, eb.WideEventsPerSec/1e6)
+
+	// Full scenario: the same network construction the experiments use,
+	// then one steady-state run where events do real maintenance and
+	// query-batch work.
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	par := experiments.ParamsFor(scale)
+	cat, err := catalog.Build(catalog.Config{
+		Seed: seed, Peers: par.GnutellaPeers, UniqueObjects: par.UniqueObjects,
+		ReplicaAlpha: 2.45, VariantProb: 0.08, NonSpecificPeerFrac: 0.05,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw, err := gnet.NewFromCatalog(gnet.DefaultConfig(seed), cat)
+	if err != nil {
+		return nil, err
+	}
+	cfg := events.SteadyStateScenario(seed)
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	s, err := events.NewScenario(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eb.Peers = par.GnutellaPeers
+	eb.ScenarioHorizon = cfg.Duration
+	start := time.Now()
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	eb.ScenarioSeconds = time.Since(start).Seconds()
+	eb.ScenarioEvents = res.EventsProcessed
+	eb.ScenarioQueries = len(res.Windows) * cfg.QueriesPerWindow
+	if eb.ScenarioSeconds > 0 {
+		eb.ScenarioEventsPerSec = float64(eb.ScenarioEvents) / eb.ScenarioSeconds
+		eb.ScenarioQueriesPerSec = float64(eb.ScenarioQueries) / eb.ScenarioSeconds
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: steady-state scenario %s (%d peers, %ds horizon): %d events, %d queries in %.2fs (%.0f events/s, %.0f queries/s)\n",
+		scaleName, eb.Peers, eb.ScenarioHorizon, eb.ScenarioEvents, eb.ScenarioQueries,
+		eb.ScenarioSeconds, eb.ScenarioEventsPerSec, eb.ScenarioQueriesPerSec)
+	return eb, nil
 }
 
 // heapUsed returns heap-in-use after a forced collection, so phase deltas

@@ -10,6 +10,7 @@
 //	qc-sim -mode gia
 //	qc-sim -mode synopsis
 //	qc-sim -mode churn-repair -scale tiny
+//	qc-sim -mode recovery -scale tiny -burst-frac 0.3
 //	qc-sim -mode fig8 -metrics            # also write out/RUN_qc-sim_fig8_*.json
 package main
 
@@ -26,13 +27,15 @@ import (
 
 func main() {
 	var (
-		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|walk|replication|shortcuts|synopsis|faults")
+		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|recovery|walk|replication|shortcuts|synopsis|faults")
 		scaleName    = cliflags.AddScale(flag.CommandLine, "default")
 		seed         = cliflags.AddSeed(flag.CommandLine)
 		deadFrac     = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
 		workers      = cliflags.AddWorkers(flag.CommandLine)
-		pingInterval = flag.Int64("ping-interval", 0, "seconds between keepalive rounds in -mode churn-repair (0 = default)")
-		pingTimeout  = flag.Int("ping-timeout", 0, "silent rounds before a neighbor is declared dead in -mode churn-repair (0 = default)")
+		pingInterval = flag.Int64("ping-interval", 0, "seconds between keepalive rounds in -mode churn-repair/recovery (0 = default)")
+		pingTimeout  = flag.Int("ping-timeout", 0, "silent rounds before a neighbor is declared dead in -mode churn-repair/recovery (0 = default)")
+		burstTime    = flag.Int64("burst-time", 0, "seconds into the run the correlated crash fires in -mode recovery (0 = default)")
+		burstFrac    = flag.Float64("burst-frac", -1, "fraction of the population crashing in -mode recovery (-1 = default 0.3)")
 		politeFrac   = flag.Float64("polite", -1, "fraction of departures announced with a Bye in -mode churn-repair (-1 = default)")
 		profiles     = cliflags.AddProfiles(flag.CommandLine)
 		obsFlags     = cliflags.AddObs(flag.CommandLine, "qc-sim")
@@ -137,6 +140,37 @@ func main() {
 			"churn-repair: detected %d failures, %d byes, repaired %d/%d dials (pings %d, lost %d)\n",
 			st.FailuresDetected, st.ByesReceived, st.RepairSuccesses, st.RepairAttempts,
 			st.PingsSent, st.PingsLost)
+	case "recovery":
+		cfg := qc.DefaultRecoveryConfig(*seed)
+		if *pingInterval > 0 {
+			cfg.Repair.PingInterval = *pingInterval
+		}
+		if *pingTimeout > 0 {
+			cfg.Repair.PingTimeout = *pingTimeout
+		}
+		if *burstTime > 0 {
+			cfg.BurstTime = *burstTime
+		}
+		if *burstFrac >= 0 {
+			if err := cliflags.CheckFrac("-burst-frac", *burstFrac); err != nil {
+				fail(err)
+			}
+			cfg.BurstFrac = *burstFrac
+		}
+		env.Windows = obsFlags.Windows()
+		r, err := qc.RecoveryWith(env, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# recovery: %d peers, %.0f%% crash at t=%d, TTL %d\n",
+			r.Peers, 100*r.BurstFrac, r.BurstTime, r.TTL)
+		writeTable(r)
+		fmt.Printf("pre_burst_success\t%.4f\nrecovery_time_s\t%d\nno_repair_recovery_time_s\t%d\n",
+			r.PreBurstSuccess, r.RecoveryTime, r.NoRepairRecoveryTime)
+		st := r.RepairStats
+		fmt.Fprintf(os.Stderr,
+			"recovery: detected %d failures, repaired %d/%d dials, %d hints screened\n",
+			st.FailuresDetected, st.RepairSuccesses, st.RepairAttempts, st.HostRejected)
 	case "walk":
 		w, err := qc.WalkVsFlood(env)
 		if err != nil {

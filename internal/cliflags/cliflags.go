@@ -62,8 +62,9 @@ type ObsFlags struct {
 	// Dir is where run manifests are written.
 	Dir string
 
-	reg    *obs.Registry
-	traces *obs.FloodTraces
+	reg     *obs.Registry
+	traces  *obs.FloodTraces
+	windows *obs.WindowLog
 }
 
 // AddObs registers -metrics, -trace-floods and -metrics-dir for command.
@@ -83,10 +84,21 @@ func (o *ObsFlags) Setup() (*obs.Registry, *obs.FloodTraces) {
 		return nil, nil
 	}
 	o.reg = obs.NewRegistry()
+	o.windows = obs.NewWindowLog()
 	if o.TraceFloods {
 		o.traces = obs.NewFloodTraces(0)
 	}
 	return o.reg, o.traces
+}
+
+// Windows returns the windowed-series log built by Setup (nil when the
+// plane is disabled). Event-engine modes stream per-window metrics into it;
+// WriteManifest folds the series into the manifest and its fingerprint.
+func (o *ObsFlags) Windows() *obs.WindowLog {
+	if o == nil {
+		return nil
+	}
+	return o.windows
 }
 
 // Enabled reports whether Setup built a registry.
@@ -120,6 +132,9 @@ func (o *ObsFlags) WriteManifest(mode, scale string, seed uint64, workers int) (
 	}
 	if o.traces != nil {
 		m.FloodTraces = o.traces.Snapshot()
+	}
+	if o.windows.Len() > 0 {
+		m.Windows = o.windows.Snapshot()
 	}
 	m.Finalize()
 	path := filepath.Join(o.Dir, obs.RunFileName(o.Command, mode, scale, seed))

@@ -1,0 +1,692 @@
+package events
+
+import (
+	"fmt"
+	"math"
+
+	"querycentric/internal/churn"
+	"querycentric/internal/faults"
+	"querycentric/internal/gnet"
+	"querycentric/internal/obs"
+	"querycentric/internal/parallel"
+	"querycentric/internal/rng"
+)
+
+// The scenario layer turns the bare queue into named long-horizon
+// workloads: it wires one overlay network, its maintenance loop, a churn
+// timeline, a fault-burst schedule and a query load onto the engine, and
+// measures *windowed* metrics — success rate, message cost, partition
+// count, repair latency — instead of end-of-trial aggregates. Four
+// canonical scenarios cover the failure modes the static trial engine
+// cannot express: steady state (the oracle case), fault-burst + recovery,
+// flash crowds on a transiently popular term, and diurnal load.
+
+// Kind names a canonical scenario shape. It is descriptive metadata — the
+// config fields drive behavior — but the constructors below keep the two
+// in sync.
+type Kind int
+
+// Canonical scenario kinds.
+const (
+	SteadyState Kind = iota
+	FaultRecovery
+	FlashCrowd
+	DiurnalLoad
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SteadyState:
+		return "steady-state"
+	case FaultRecovery:
+		return "fault-recovery"
+	case FlashCrowd:
+		return "flash-crowd"
+	case DiurnalLoad:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// FlashConfig shapes a flash crowd: between Start and End, query volume is
+// multiplied by Boost and a fraction Frac of queries all chase one
+// transiently popular object (the paper's Figure 5 population, compressed
+// to a single term).
+type FlashConfig struct {
+	Start int64   `json:"start"`
+	End   int64   `json:"end"`
+	Frac  float64 `json:"frac"`
+	Boost float64 `json:"boost"`
+}
+
+// Validate rejects malformed flash crowds.
+func (f FlashConfig) Validate() error {
+	switch {
+	case f.Start < 0 || f.End <= f.Start:
+		return fmt.Errorf("events: flash window [%d,%d) is empty or negative", f.Start, f.End)
+	case math.IsNaN(f.Frac) || f.Frac < 0 || f.Frac > 1:
+		return fmt.Errorf("events: flash Frac must be in [0,1], got %v", f.Frac)
+	case math.IsNaN(f.Boost) || f.Boost <= 0:
+		return fmt.Errorf("events: flash Boost must be positive, got %v", f.Boost)
+	}
+	return nil
+}
+
+// ScenarioConfig shapes one long-horizon simulation.
+type ScenarioConfig struct {
+	Kind Kind
+	// Seed roots the engine's per-event streams and the query workload.
+	Seed uint64
+	// Duration is the simulated horizon in seconds; it must be a whole
+	// number of windows.
+	Duration int64
+	// Window is the metrics-window length in seconds.
+	Window int64
+	// QueriesPerWindow is the base query volume per window (flash crowds
+	// and diurnal modulation scale it).
+	QueriesPerWindow int
+	// BatchesPerWindow spreads each window's queries over this many query
+	// events, so topology changes interleave with load inside a window.
+	// Each batch fans its floods out through internal/parallel.
+	BatchesPerWindow int
+	// TTL bounds the measurement floods.
+	TTL int
+	// Workers bounds the per-batch flood fan-out (0 = GOMAXPROCS).
+	// Results are byte-identical for every value.
+	Workers int
+	// Repair shapes the maintenance loop; Repair.Repair false disables
+	// failure detection and rewiring (the no-maintenance arm).
+	Repair gnet.RepairConfig
+	// Churn, when non-nil, generates a session-churn timeline whose events
+	// are scheduled onto the queue.
+	Churn *churn.TimelineConfig
+	// Bursts is the correlated-failure schedule (strictly increasing
+	// times).
+	Bursts []faults.Burst
+	// Flash, when non-nil, adds a flash crowd.
+	Flash *FlashConfig
+	// DiurnalAmp modulates query volume sinusoidally over the horizon
+	// (peak = base*(1+amp), trough = base*(1-amp)); 0 disables.
+	DiurnalAmp float64
+	// SeriesPrefix prefixes the windowed obs series names; empty uses
+	// "events_".
+	SeriesPrefix string
+}
+
+// Validate rejects schedules that cannot run.
+func (c ScenarioConfig) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("events: Duration must be positive, got %d", c.Duration)
+	case c.Window <= 0:
+		return fmt.Errorf("events: Window must be positive, got %d", c.Window)
+	case c.Duration%c.Window != 0:
+		return fmt.Errorf("events: Duration %d is not a whole number of %d-second windows", c.Duration, c.Window)
+	case c.QueriesPerWindow < 1:
+		return fmt.Errorf("events: QueriesPerWindow must be at least 1, got %d", c.QueriesPerWindow)
+	case c.BatchesPerWindow < 1:
+		return fmt.Errorf("events: BatchesPerWindow must be at least 1, got %d", c.BatchesPerWindow)
+	case c.TTL < 1:
+		return fmt.Errorf("events: TTL must be at least 1, got %d", c.TTL)
+	case math.IsNaN(c.DiurnalAmp) || c.DiurnalAmp < 0 || c.DiurnalAmp >= 1:
+		return fmt.Errorf("events: DiurnalAmp must be in [0,1), got %v", c.DiurnalAmp)
+	}
+	if err := c.Repair.Validate(); err != nil {
+		return err
+	}
+	if c.Churn != nil {
+		if err := c.Churn.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := faults.ValidateBursts(c.Bursts); err != nil {
+		return err
+	}
+	if c.Flash != nil {
+		if err := c.Flash.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultScenario is the shared base for the canonical constructors: two
+// simulated hours in ten-minute windows, 80 TTL-3 known-item queries per
+// window spread over four batches, one-minute maintenance rounds.
+func defaultScenario(kind Kind, seed uint64) ScenarioConfig {
+	rp := gnet.DefaultRepairConfig(seed)
+	rp.PingInterval = 60
+	return ScenarioConfig{
+		Kind:             kind,
+		Seed:             seed,
+		Duration:         2 * 3600,
+		Window:           600,
+		QueriesPerWindow: 80,
+		BatchesPerWindow: 4,
+		TTL:              3,
+		Repair:           rp,
+	}
+}
+
+// SteadyStateScenario is the oracle case: no churn, no faults — windowed
+// success must agree with the static trial engine within tolerance.
+func SteadyStateScenario(seed uint64) ScenarioConfig {
+	return defaultScenario(SteadyState, seed)
+}
+
+// FaultRecoveryScenario crashes frac of the population at burstTime and
+// measures the recovery curve.
+func FaultRecoveryScenario(seed uint64, burstTime int64, frac float64) ScenarioConfig {
+	cfg := defaultScenario(FaultRecovery, seed)
+	cfg.Bursts = []faults.Burst{{Time: burstTime, Frac: frac}}
+	return cfg
+}
+
+// FlashCrowdScenario concentrates a mid-run load spike on one transiently
+// popular object: 3x volume, 60% of queries on the flash term, for the
+// middle two windows.
+func FlashCrowdScenario(seed uint64) ScenarioConfig {
+	cfg := defaultScenario(FlashCrowd, seed)
+	cfg.Flash = &FlashConfig{Start: 3600, End: 3600 + 1200, Frac: 0.6, Boost: 3}
+	return cfg
+}
+
+// DiurnalScenario modulates query volume sinusoidally over the horizon
+// (one full day compressed into the run), with background churn.
+func DiurnalScenario(seed uint64) ScenarioConfig {
+	cfg := defaultScenario(DiurnalLoad, seed)
+	cfg.DiurnalAmp = 0.6
+	tl := churn.DefaultTimelineConfig(seed)
+	tl.Duration = cfg.Duration
+	cfg.Churn = &tl
+	return cfg
+}
+
+// Window is one closed metrics window.
+type Window struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Queries and Hits count the window's known-item floods and how many
+	// returned at least one result; Success is their ratio.
+	Queries int     `json:"queries"`
+	Hits    int     `json:"hits"`
+	Success float64 `json:"success"`
+	// Messages counts query descriptors transmitted; MsgPerQuery is the
+	// per-flood mean.
+	Messages    int64   `json:"messages"`
+	MsgPerQuery float64 `json:"msg_per_query"`
+	// OnlineFrac and MeanDegree describe the population at window close
+	// (ghost edges count toward degree — the peer still believes in them).
+	OnlineFrac float64 `json:"online_frac"`
+	MeanDegree float64 `json:"mean_degree"`
+	// Partitions is the number of connected components among online peers
+	// at window close (1 = healthy, higher = fragmentation).
+	Partitions int `json:"partitions"`
+	// Repaired counts peers whose repair-relevant degree returned to
+	// target during the window; RepairLatency is their mean
+	// deficit-to-restoration time in seconds (0 when none).
+	Repaired      int     `json:"repaired"`
+	RepairLatency float64 `json:"repair_latency_s"`
+}
+
+// ScenarioResult is one scenario run's windowed output.
+type ScenarioResult struct {
+	Kind            string           `json:"kind"`
+	Peers           int              `json:"peers"`
+	TTL             int              `json:"ttl"`
+	EventsProcessed uint64           `json:"events_processed"`
+	ChurnEvents     int              `json:"churn_events"`
+	Windows         []Window         `json:"windows"`
+	RepairStats     gnet.RepairStats `json:"repair_stats"`
+}
+
+// Scenario is one configured run: an engine, a network under maintenance,
+// and the windowed accumulators.
+type Scenario struct {
+	cfg ScenarioConfig
+	nw  *gnet.Network
+	m   *gnet.Maintainer
+	eng *Engine
+	tl  *churn.Timeline
+
+	qbase *rng.Source // query workload stream family
+
+	flashCriteria string
+
+	// Current-window accumulators, reset at each window close.
+	winQueries  int
+	winHits     int
+	winMessages int64
+	winRepaired int
+	winLatency  int64
+
+	// deficitSince[id] is when peer id's repair-relevant degree fell below
+	// target (-1 = none). Restoration during a window feeds the window's
+	// repair-latency metric.
+	deficitSince []int64
+
+	windows []Window
+	wlog    *obs.WindowLog
+	prefix  string
+}
+
+// NewScenario wires cfg onto nw: builds the maintenance loop (seeded from
+// the churn timeline's initial liveness when churn is configured) and
+// schedules every event of the run — churn transitions, fault bursts,
+// maintenance rounds, query batches and window closes.
+func NewScenario(nw *gnet.Network, cfg ScenarioConfig) (*Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(nw.Peers)
+	eng, err := New(cfg.Seed, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{
+		cfg:          cfg,
+		nw:           nw,
+		eng:          eng,
+		qbase:        rng.NewNamed(cfg.Seed, "events/queries"),
+		deficitSince: make([]int64, n),
+		prefix:       cfg.SeriesPrefix,
+	}
+	if s.prefix == "" {
+		s.prefix = "events_"
+	}
+	for i := range s.deficitSince {
+		s.deficitSince[i] = -1
+	}
+
+	var initial []bool
+	if cfg.Churn != nil {
+		tcfg := *cfg.Churn
+		tcfg.Duration = cfg.Duration
+		tl, err := churn.GenerateTimeline(tcfg, n)
+		if err != nil {
+			return nil, err
+		}
+		s.tl = tl
+		initial = tl.Initial
+	}
+	m, err := gnet.NewMaintainer(nw, cfg.Repair, initial)
+	if err != nil {
+		return nil, err
+	}
+	s.m = m
+	if cfg.Flash != nil {
+		s.flashCriteria = pickFlashObject(nw, cfg.Seed)
+	}
+	if err := s.schedule(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Instrument attaches the observability plane: engine counters into reg,
+// windowed series into wl (either may be nil). The network's own flood and
+// maintenance counters attach through Network.Instrument as usual.
+func (s *Scenario) Instrument(reg *obs.Registry, wl *obs.WindowLog) {
+	s.eng.Instrument(reg)
+	s.wlog = wl
+}
+
+// Engine exposes the underlying queue (for diagnostics and tests).
+func (s *Scenario) Engine() *Engine { return s.eng }
+
+// pickFlashObject deterministically selects the transiently popular object
+// a flash crowd chases: a library entry of a deterministically drawn peer.
+func pickFlashObject(nw *gnet.Network, seed uint64) string {
+	r := rng.NewNamed(seed, "events/flash")
+	n := len(nw.Peers)
+	for tries := 0; tries < 4*n; tries++ {
+		p := nw.Peers[r.Intn(n)]
+		if len(p.Library) > 0 {
+			return p.Library[r.Intn(len(p.Library))].Name
+		}
+	}
+	return ""
+}
+
+// schedule enqueues every event of the run.
+func (s *Scenario) schedule() error {
+	cfg := s.cfg
+
+	// Churn transitions, one event each, in timeline order.
+	if s.tl != nil {
+		for i, ev := range s.tl.Events {
+			ev := ev
+			name := fmt.Sprintf("churn/%d", i)
+			err := s.eng.Schedule(ev.Time, PrioChurn, name, func(now int64, _ *rng.Source) error {
+				var err error
+				if ev.Up {
+					err = s.m.PeerUp(int(ev.Peer), now)
+				} else {
+					err = s.m.PeerDown(int(ev.Peer), ev.Polite)
+				}
+				if err != nil {
+					return err
+				}
+				s.noteDeficits(now)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Correlated fault bursts. Victims are a pure function of (seed, burst
+	// time, population); politeness draws from the event's own stream.
+	for _, b := range cfg.Bursts {
+		b := b
+		name := fmt.Sprintf("burst/%d", b.Time)
+		err := s.eng.Schedule(b.Time, PrioFault, name, func(now int64, r *rng.Source) error {
+			for _, id := range b.Victims(cfg.Seed, len(s.nw.Peers)) {
+				if err := s.m.PeerDown(id, r.Bool(b.Polite)); err != nil {
+					return err
+				}
+			}
+			s.noteDeficits(now)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Maintenance rounds, self-rescheduling every PingInterval. The
+	// no-repair arm skips them entirely (Tick would be a no-op).
+	if cfg.Repair.Repair {
+		interval := cfg.Repair.PingInterval
+		var tick func(now int64, r *rng.Source) error
+		round := 0
+		tick = func(now int64, _ *rng.Source) error {
+			s.m.Tick(now)
+			s.noteDeficits(now)
+			next := now + interval
+			if next > cfg.Duration {
+				return nil
+			}
+			round++
+			return s.eng.Schedule(next, PrioMaint, fmt.Sprintf("maint/%d", round), tick)
+		}
+		if interval <= cfg.Duration {
+			if err := s.eng.Schedule(interval, PrioMaint, "maint/0", tick); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Query batches: each window's volume spread over BatchesPerWindow
+	// events strictly inside the window, then modulated by the diurnal
+	// cycle and any flash crowd.
+	nWindows := int(cfg.Duration / cfg.Window)
+	for w := 0; w < nWindows; w++ {
+		wStart := int64(w) * cfg.Window
+		for b := 0; b < cfg.BatchesPerWindow; b++ {
+			at := wStart + int64(b+1)*cfg.Window/int64(cfg.BatchesPerWindow+1)
+			count := s.batchSize(at, w, b)
+			if count == 0 {
+				continue
+			}
+			name := fmt.Sprintf("query/%d/%d", w, b)
+			err := s.eng.Schedule(at, PrioQuery, name, func(now int64, _ *rng.Source) error {
+				return s.queryBatch(now, name, count)
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Window closes, after everything else at the boundary instant.
+	for w := 1; w <= nWindows; w++ {
+		w := w
+		at := int64(w) * cfg.Window
+		name := fmt.Sprintf("window/%d", w)
+		err := s.eng.Schedule(at, PrioWindow, name, func(now int64, _ *rng.Source) error {
+			s.closeWindow(now-cfg.Window, now)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchSize is the query count of batch b of window w: the base per-batch
+// share, scaled by the diurnal cycle at the batch instant and by a flash
+// crowd's volume boost.
+func (s *Scenario) batchSize(at int64, w, b int) int {
+	cfg := s.cfg
+	base := cfg.QueriesPerWindow / cfg.BatchesPerWindow
+	if b < cfg.QueriesPerWindow%cfg.BatchesPerWindow {
+		base++
+	}
+	scale := 1.0
+	if cfg.DiurnalAmp > 0 {
+		// One full cycle over the horizon, peaking at the quarter point.
+		phase := 2 * math.Pi * float64(at) / float64(cfg.Duration)
+		scale *= 1 + cfg.DiurnalAmp*math.Sin(phase)
+	}
+	if cfg.Flash != nil && at >= cfg.Flash.Start && at < cfg.Flash.End {
+		scale *= cfg.Flash.Boost
+	}
+	return int(math.Round(float64(base) * scale))
+}
+
+// flashFrac returns the fraction of queries redirected at the flash object
+// at time `at` (0 outside the flash window).
+func (s *Scenario) flashFrac(at int64) float64 {
+	f := s.cfg.Flash
+	if f == nil || s.flashCriteria == "" || at < f.Start || at >= f.End {
+		return 0
+	}
+	return f.Frac
+}
+
+// queryBatch floods count known-item queries at sim-time now, fanned out
+// through the parallel engine: each trial owns a stream derived from the
+// batch name, so results are byte-identical at every worker count.
+func (s *Scenario) queryBatch(now int64, name string, count int) error {
+	online := s.m.Online()
+	flashFrac := s.flashFrac(now)
+	type trial struct {
+		hit  bool
+		msgs int
+	}
+	results, err := parallel.MapWith(parallel.Workers(s.cfg.Workers), count,
+		func() *gnet.FloodCtx { return s.nw.NewFloodCtx() },
+		func(ctx *gnet.FloodCtx, q int) (trial, error) {
+			r := s.qbase.Derive(fmt.Sprintf("%s/trial/%d", name, q))
+			criteria := ""
+			if flashFrac > 0 && r.Bool(flashFrac) {
+				criteria = s.flashCriteria
+			}
+			origin := pickOnline(s.nw, online, r, -1)
+			if origin < 0 {
+				return trial{}, nil
+			}
+			if criteria == "" {
+				target := pickOnline(s.nw, online, r, origin)
+				if target < 0 {
+					return trial{}, nil
+				}
+				lib := s.nw.Peers[target].Library
+				criteria = lib[r.Intn(len(lib))].Name
+			}
+			fr, err := ctx.Flood(origin, criteria, s.cfg.TTL, r)
+			if err != nil {
+				return trial{}, nil // flood errors count as misses
+			}
+			return trial{hit: fr.TotalResults > 0, msgs: fr.Messages}, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, t := range results {
+		s.winQueries++
+		if t.hit {
+			s.winHits++
+		}
+		s.winMessages += int64(t.msgs)
+	}
+	return nil
+}
+
+// pickOnline draws an online, non-empty-library peer distinct from exclude
+// (bounded rejection sampling; -1 when none found).
+func pickOnline(nw *gnet.Network, online []bool, r *rng.Source, exclude int) int {
+	n := len(nw.Peers)
+	for tries := 0; tries < 4*n; tries++ {
+		id := r.Intn(n)
+		if id == exclude || !online[id] || len(nw.Peers[id].Library) == 0 {
+			continue
+		}
+		return id
+	}
+	return -1
+}
+
+// liveDegree is peer id's ground-truth repair-relevant degree: connections
+// to currently online peers, restricted to the class repair maintains
+// (ultrapeer links on two-tier topologies). Unlike Maintainer.RepairDegree
+// it does not count ghost edges — a crash opens a deficit here immediately,
+// even though the peer itself won't notice until failure detection fires.
+func (s *Scenario) liveDegree(id int) int {
+	online := s.m.Online()
+	d := 0
+	for _, nb := range s.nw.Peers[id].Neighbors {
+		if !online[nb] {
+			continue
+		}
+		if s.nw.Config.UltrapeerFrac > 0 && !s.nw.Peers[nb].Ultrapeer {
+			continue
+		}
+		d++
+	}
+	return d
+}
+
+// noteDeficits updates the per-peer degree-deficit clocks after a
+// topology-affecting event. A deficit opens when an online peer's live
+// degree (ghost edges excluded) drops below target — at the crash itself —
+// and closes when maintenance restores the target with live edges, so the
+// recorded latency spans detection plus repair.
+func (s *Scenario) noteDeficits(now int64) {
+	for id := range s.nw.Peers {
+		if !s.m.Online()[id] {
+			s.deficitSince[id] = -1
+			continue
+		}
+		deficit := s.liveDegree(id) < s.m.TargetDegree(id)
+		switch {
+		case deficit && s.deficitSince[id] < 0:
+			s.deficitSince[id] = now
+		case !deficit && s.deficitSince[id] >= 0:
+			s.winRepaired++
+			s.winLatency += now - s.deficitSince[id]
+			s.deficitSince[id] = -1
+		}
+	}
+}
+
+// closeWindow freezes the current window's metrics and resets the
+// accumulators.
+func (s *Scenario) closeWindow(start, end int64) {
+	w := Window{
+		Start:    start,
+		End:      end,
+		Queries:  s.winQueries,
+		Hits:     s.winHits,
+		Messages: s.winMessages,
+		Repaired: s.winRepaired,
+	}
+	if w.Queries > 0 {
+		w.Success = float64(w.Hits) / float64(w.Queries)
+		w.MsgPerQuery = float64(w.Messages) / float64(w.Queries)
+	}
+	if w.Repaired > 0 {
+		w.RepairLatency = float64(s.winLatency) / float64(w.Repaired)
+	}
+	online := s.m.Online()
+	n := len(s.nw.Peers)
+	up, degSum := 0, 0
+	for id, ok := range online {
+		if ok {
+			up++
+			degSum += len(s.nw.Peers[id].Neighbors)
+		}
+	}
+	if n > 0 {
+		w.OnlineFrac = float64(up) / float64(n)
+	}
+	if up > 0 {
+		w.MeanDegree = float64(degSum) / float64(up)
+	}
+	w.Partitions = onlinePartitions(s.nw, online)
+	s.windows = append(s.windows, w)
+
+	s.wlog.Add(s.prefix+"success", start, end, w.Success)
+	s.wlog.Add(s.prefix+"msg_per_query", start, end, w.MsgPerQuery)
+	s.wlog.Add(s.prefix+"online_frac", start, end, w.OnlineFrac)
+	s.wlog.Add(s.prefix+"mean_degree", start, end, w.MeanDegree)
+	s.wlog.Add(s.prefix+"partitions", start, end, float64(w.Partitions))
+	s.wlog.Add(s.prefix+"repair_latency_s", start, end, w.RepairLatency)
+	s.wlog.Add(s.prefix+"queries", start, end, float64(w.Queries))
+
+	s.winQueries, s.winHits, s.winMessages = 0, 0, 0
+	s.winRepaired, s.winLatency = 0, 0
+}
+
+// onlinePartitions counts connected components of the subgraph induced by
+// online peers (edges to offline peers don't carry queries).
+func onlinePartitions(nw *gnet.Network, online []bool) int {
+	n := len(nw.Peers)
+	seen := make([]bool, n)
+	parts := 0
+	var stack []int
+	for v := 0; v < n; v++ {
+		if !online[v] || seen[v] {
+			continue
+		}
+		parts++
+		seen[v] = true
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range nw.Peers[u].Neighbors {
+				if online[w] && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return parts
+}
+
+// Run executes the scenario to the horizon and returns the windowed
+// result.
+func (s *Scenario) Run() (*ScenarioResult, error) {
+	if err := s.eng.Run(); err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{
+		Kind:            s.cfg.Kind.String(),
+		Peers:           len(s.nw.Peers),
+		TTL:             s.cfg.TTL,
+		EventsProcessed: s.eng.Processed(),
+		Windows:         s.windows,
+		RepairStats:     s.m.Stats(),
+	}
+	if s.tl != nil {
+		res.ChurnEvents = len(s.tl.Events)
+	}
+	return res, nil
+}

@@ -34,6 +34,11 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 		// and success for both scenarios plus maintenance counters), so
 		// this doubles as the golden determinism check on topology repair.
 		{"ChurnRepair", func(e *Env) (any, error) { return ChurnRepair(e) }},
+		// Recovery marshals the event-engine windowed series of both arms,
+		// extending the gate to discrete-event scheduling: interleaved
+		// churn/fault/maintenance/query events must produce identical
+		// windows at any worker count.
+		{"Recovery", func(e *Env) (any, error) { return RecoveryWith(e, tinyRecoveryConfig(e.Seed)) }},
 		// NetworkConstruction covers the parallel build phases introduced
 		// with term interning: catalog name generation, the shared
 		// dictionary, and per-peer posting indexes must be byte-identical

@@ -141,6 +141,11 @@ type Env struct {
 	// a bounded deterministic sample of per-flood hop traces.
 	FloodTraces *obs.FloodTraces
 
+	// Windows, when non-nil, receives the windowed time series streamed by
+	// event-engine experiments (Recovery); the series land in the run
+	// manifest next to the scalar metrics and are fingerprinted with them.
+	Windows *obs.WindowLog
+
 	mu        sync.Mutex
 	objTrace  *trace.ObjectTrace
 	objStats  *crawler.Stats

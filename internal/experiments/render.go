@@ -45,6 +45,7 @@ var _ = []Result{
 	(*WalkVsFloodResult)(nil), (*ReplicationResult)(nil),
 	(*ShortcutsResult)(nil), (*DHTRoutingResult)(nil),
 	(*FaultSweepResult)(nil), (*SynopsisResult)(nil), (*RareObjectResult)(nil),
+	(*RecoveryResult)(nil),
 }
 
 // kv builds a two-column metric/value table from alternating pairs.
@@ -328,6 +329,38 @@ func (r *SynopsisResult) Table() [][]string {
 		"static_synopsis_success", fmt.Sprintf("%.3f", r.StaticSuccess),
 		"adaptive_synopsis_success", fmt.Sprintf("%.3f", r.AdaptiveSuccess),
 	)
+}
+
+// Name identifies the fault-burst recovery experiment.
+func (r *RecoveryResult) Name() string { return "recovery" }
+
+// Table renders the two recovery curves side by side, then the headline
+// recovery statistics.
+func (r *RecoveryResult) Table() [][]string {
+	rows := [][]string{{"window_end", "succ_repair", "succ_norepair",
+		"online", "parts_repair", "parts_norepair", "repair_latency_s"}}
+	for i := range r.Repair {
+		rp := r.Repair[i]
+		row := []string{fmt.Sprintf("%d", rp.End),
+			fmt.Sprintf("%.4f", rp.Success), "",
+			fmt.Sprintf("%.3f", rp.OnlineFrac),
+			fmt.Sprintf("%d", rp.Partitions), "",
+			fmt.Sprintf("%.0f", rp.RepairLatency)}
+		if i < len(r.NoRepair) {
+			nr := r.NoRepair[i]
+			row[2] = fmt.Sprintf("%.4f", nr.Success)
+			row[5] = fmt.Sprintf("%d", nr.Partitions)
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows,
+		[]string{"# pre_burst_success", fmt.Sprintf("%.4f", r.PreBurstSuccess), "", "", "", "", ""},
+		[]string{"# recovery_time_s", fmt.Sprintf("%d", r.RecoveryTime),
+			fmt.Sprintf("%d", r.NoRepairRecoveryTime), "", "", "", ""},
+		[]string{"# final_success", fmt.Sprintf("%.4f", r.RepairFinal),
+			fmt.Sprintf("%.4f", r.NoRepairFinal), "", "", "", ""},
+	)
+	return rows
 }
 
 // Name identifies the §VI rare-object check.

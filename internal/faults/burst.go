@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"querycentric/internal/rng"
+)
+
+// Correlated failure bursts. The plane's per-call fault classes model
+// *independent* failures: each dial or delivery rolls on its own. Real
+// outages are correlated — a power event, a routing flap or an ISP block
+// takes down a sizeable fraction of the population in one instant. A Burst
+// is that instant, expressed as data so the discrete-event engine can
+// schedule it like any other event: at Time, a deterministic Frac of the
+// population crashes (or, with Polite > 0, partly announces its exit).
+//
+// Victim selection is a pure function of (seed, burst time, population
+// size): a partial Fisher–Yates shuffle on a stream derived from those
+// three, so two runs — or the repair and no-repair arms of one comparison
+// — kill exactly the same peers.
+
+// Burst is one correlated failure event.
+type Burst struct {
+	// Time is the simulated second the burst fires.
+	Time int64 `json:"time"`
+	// Frac is the fraction of the population taken down, rounded to the
+	// nearest whole peer.
+	Frac float64 `json:"frac"`
+	// Polite is the probability a victim announces its exit with a Bye
+	// (drawn per victim). Zero — the default — models a correlated crash:
+	// every victim vanishes silently, leaving ghost edges.
+	Polite float64 `json:"polite"`
+}
+
+// Validate rejects bursts that cannot be scheduled.
+func (b Burst) Validate() error {
+	switch {
+	case b.Time <= 0:
+		return fmt.Errorf("faults: burst Time must be positive, got %d", b.Time)
+	case math.IsNaN(b.Frac) || b.Frac < 0 || b.Frac > 1:
+		return fmt.Errorf("faults: burst Frac must be in [0,1], got %v", b.Frac)
+	case math.IsNaN(b.Polite) || b.Polite < 0 || b.Polite > 1:
+		return fmt.Errorf("faults: burst Polite must be in [0,1], got %v", b.Polite)
+	}
+	return nil
+}
+
+// Victims returns the peer IDs the burst takes down in a population of n,
+// in ascending order. The selection is deterministic in (seed, b.Time, n)
+// and independent of any other randomness in the run.
+func (b Burst) Victims(seed uint64, n int) []int {
+	k := int(math.Round(b.Frac * float64(n)))
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	r := rng.NewNamed(seed, fmt.Sprintf("faults/burst/%d", b.Time))
+	// Partial Fisher–Yates: the first k draws of a full shuffle.
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	out := ids[:k:k]
+	sort.Ints(out)
+	return out
+}
+
+// ValidateBursts checks a whole schedule: each burst valid, times strictly
+// increasing so (seed, time) streams never collide.
+func ValidateBursts(bursts []Burst) error {
+	for i, b := range bursts {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("faults: burst %d: %w", i, err)
+		}
+		if i > 0 && b.Time <= bursts[i-1].Time {
+			return fmt.Errorf("faults: burst %d at t=%d not after burst %d at t=%d",
+				i, b.Time, i-1, bursts[i-1].Time)
+		}
+	}
+	return nil
+}

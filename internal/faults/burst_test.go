@@ -1,0 +1,90 @@
+package faults
+
+import "testing"
+
+func TestBurstValidate(t *testing.T) {
+	good := Burst{Time: 100, Frac: 0.3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid burst rejected: %v", err)
+	}
+	bad := []Burst{
+		{Time: 0, Frac: 0.3},
+		{Time: -5, Frac: 0.3},
+		{Time: 100, Frac: -0.1},
+		{Time: 100, Frac: 1.1},
+		{Time: 100, Frac: 0.3, Polite: 2},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad burst %d passed Validate: %+v", i, b)
+		}
+	}
+}
+
+func TestBurstVictimsDeterministicAndSized(t *testing.T) {
+	b := Burst{Time: 3600, Frac: 0.3}
+	const n = 200
+	v1 := b.Victims(42, n)
+	v2 := b.Victims(42, n)
+	if len(v1) != 60 {
+		t.Fatalf("30%% of %d should be 60 victims, got %d", n, len(v1))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("victim selection not deterministic at index %d: %d vs %d", i, v1[i], v2[i])
+		}
+		if v1[i] < 0 || v1[i] >= n {
+			t.Fatalf("victim %d out of range", v1[i])
+		}
+		if i > 0 && v1[i] <= v1[i-1] {
+			t.Fatalf("victims not strictly ascending: %v", v1[:i+1])
+		}
+	}
+	// A different seed (or burst time) picks a different set.
+	if same(v1, b.Victims(43, n)) {
+		t.Fatal("different seeds picked identical victim sets")
+	}
+	if same(v1, Burst{Time: 7200, Frac: 0.3}.Victims(42, n)) {
+		t.Fatal("different burst times picked identical victim sets")
+	}
+}
+
+func TestBurstVictimsEdgeCases(t *testing.T) {
+	if v := (Burst{Time: 1, Frac: 0}).Victims(42, 100); v != nil {
+		t.Fatalf("zero-frac burst produced victims: %v", v)
+	}
+	if v := (Burst{Time: 1, Frac: 1}).Victims(42, 10); len(v) != 10 {
+		t.Fatalf("full burst should take everyone, got %d", len(v))
+	}
+	if v := (Burst{Time: 1, Frac: 0.5}).Victims(42, 0); v != nil {
+		t.Fatalf("empty population produced victims: %v", v)
+	}
+}
+
+func TestValidateBursts(t *testing.T) {
+	ok := []Burst{{Time: 10, Frac: 0.1}, {Time: 20, Frac: 0.2}}
+	if err := ValidateBursts(ok); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := ValidateBursts([]Burst{{Time: 20, Frac: 0.1}, {Time: 20, Frac: 0.2}}); err == nil {
+		t.Fatal("equal-time bursts accepted")
+	}
+	if err := ValidateBursts([]Burst{{Time: 20, Frac: 0.1}, {Time: 10, Frac: 0.2}}); err == nil {
+		t.Fatal("out-of-order bursts accepted")
+	}
+	if err := ValidateBursts([]Burst{{Time: 0, Frac: 0.1}}); err == nil {
+		t.Fatal("invalid member burst accepted")
+	}
+}
+
+func same(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

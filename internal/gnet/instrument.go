@@ -69,6 +69,7 @@ type maintMetrics struct {
 	repairAttempts   *obs.Counter
 	repairFailures   *obs.Counter
 	repairSuccesses  *obs.Counter
+	hostRejected     *obs.Counter
 }
 
 func newMaintMetrics(reg *obs.Registry) maintMetrics {
@@ -84,5 +85,6 @@ func newMaintMetrics(reg *obs.Registry) maintMetrics {
 		repairAttempts:   reg.Counter("gnet_maint_repair_attempts_total"),
 		repairFailures:   reg.Counter("gnet_maint_repair_failures_total"),
 		repairSuccesses:  reg.Counter("gnet_maint_repair_successes_total"),
+		hostRejected:     reg.Counter("gnet_hostcache_rejected_total"),
 	}
 }

@@ -113,8 +113,9 @@ type RepairStats struct {
 	FailuresDetected int // edges torn down by ping timeout
 	ByesReceived     int // edges torn down by a received Bye
 	RepairAttempts   int // candidate dials
-	RepairFailures   int // dials that failed (dead, faulted, or full)
+	RepairFailures   int // dials that failed (faulted or full)
 	RepairSuccesses  int // new edges established
+	HostRejected     int // cached candidates dropped before dialing (dead or self)
 }
 
 // Maintainer drives overlay maintenance for one network. It is single-
@@ -455,6 +456,16 @@ func (m *Maintainer) learnAddr(u int, a Addr) {
 	m.caches[u].Add(a)
 }
 
+// TargetDegree exposes peer id's repair target (see targetDegree) so a
+// driving simulation can observe degree deficits without duplicating the
+// topology-class rules.
+func (m *Maintainer) TargetDegree(id int) int { return m.targetDegree(id) }
+
+// RepairDegree exposes peer id's repair-relevant degree (see repairDegree):
+// the connection count measured against TargetDegree. Ghost edges count —
+// the peer still believes in them.
+func (m *Maintainer) RepairDegree(id int) int { return m.repairDegree(id) }
+
 // targetDegree is the connection count peer u repairs toward: the same
 // targets the builder wired (ultrapeer mesh degree, leaf attachment count,
 // or flat degree).
@@ -519,11 +530,23 @@ func (m *Maintainer) connectToward(u int, now int64, r *rng.Source) {
 	}
 	self := nw.Peers[u].Addr
 	keep := func(a Addr) bool {
+		// Hints that resolve to the repairing peer itself or to a peer that
+		// is currently offline are rejected before any dial is attempted:
+		// dialing a dead address can only burn a ConnectAttempt and push
+		// the candidate into backoff, so the cache screens them out (they
+		// stay cached — a dead peer may return). Each screening is counted.
 		if a == self {
+			m.stats.HostRejected++
+			m.om.hostRejected.Inc()
 			return false
 		}
 		p := nw.PeerByAddr(a)
 		if p == nil || nw.connected(u, p.ID) {
+			return false
+		}
+		if !m.online[p.ID] {
+			m.stats.HostRejected++
+			m.om.hostRejected.Inc()
 			return false
 		}
 		if at, ok := m.retryAt[u][a]; ok && now < at {
@@ -539,7 +562,7 @@ func (m *Maintainer) connectToward(u int, now int64, r *rng.Source) {
 		m.stats.RepairAttempts++
 		m.om.repairAttempts.Inc()
 		cand := nw.PeerByAddr(addr)
-		if m.online[cand.ID] && !m.plane.DialTimeout(cand.ID) && m.acceptsConnection(u, cand) {
+		if !m.plane.DialTimeout(cand.ID) && m.acceptsConnection(u, cand) {
 			if err := nw.ConnectPeers(u, cand.ID); err != nil {
 				panic(err) // keep filtered self and duplicates already
 			}

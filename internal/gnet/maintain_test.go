@@ -3,6 +3,8 @@ package gnet
 import (
 	"fmt"
 	"testing"
+
+	"querycentric/internal/obs"
 )
 
 // maintTestNetwork builds a small two-tier overlay with a maintainer,
@@ -230,5 +232,146 @@ func TestMaintainerDeterminism(t *testing.T) {
 	}
 	if stats1 != stats2 {
 		t.Fatalf("same-seed maintenance produced different stats:\n%+v\n%+v", stats1, stats2)
+	}
+}
+
+// TestPingTimeoutSingleRoundBoundary pins the PingTimeout=1 edge: a single
+// silent round is enough to tear an edge down — the most aggressive legal
+// detector — while PingTimeout=0 never reaches a maintainer at all
+// (rejected by Validate, so the zero value cannot silently mean "never
+// detect").
+func TestPingTimeoutSingleRoundBoundary(t *testing.T) {
+	cfg := DefaultRepairConfig(18)
+	cfg.PingTimeout = 1
+	nw, m := maintTestNetwork(t, 18, cfg)
+	u := firstUltra(nw)
+	neighbors := append([]int(nil), nw.Peers[u].Neighbors...)
+	if err := m.PeerDown(u, false); err != nil {
+		t.Fatalf("PeerDown: %v", err)
+	}
+	m.Tick(cfg.PingInterval)
+	if d := degreeOf(nw, u); d != 0 {
+		t.Fatalf("PingTimeout=1 left %d ghost edges after one round", d)
+	}
+	if got := m.Stats().FailuresDetected; got != len(neighbors) {
+		t.Fatalf("FailuresDetected = %d, want %d", got, len(neighbors))
+	}
+
+	cfg.PingTimeout = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("PingTimeout=0 passed Validate")
+	}
+	if _, err := NewMaintainer(nw, cfg, nil); err == nil {
+		t.Fatal("NewMaintainer accepted PingTimeout=0")
+	}
+}
+
+// TestBackToBackSilentCrashes drives the same peer through two
+// crash/detect/rejoin cycles: the second silent crash must be detected as
+// cleanly as the first — no stale missed-round state, no ghost edge
+// surviving, and the failure counter growing both times.
+func TestBackToBackSilentCrashes(t *testing.T) {
+	cfg := DefaultRepairConfig(19)
+	nw, m := maintTestNetwork(t, 19, cfg)
+	u := firstUltra(nw)
+
+	now := int64(0)
+	detect := func(cycle int) int {
+		before := m.Stats().FailuresDetected
+		if err := m.PeerDown(u, false); err != nil {
+			t.Fatalf("cycle %d PeerDown: %v", cycle, err)
+		}
+		if degreeOf(nw, u) == 0 {
+			t.Fatalf("cycle %d: silent crash tore down edges immediately", cycle)
+		}
+		// PingTimeout rounds of silence, plus slack for repair traffic.
+		for i := 0; i < cfg.PingTimeout+1; i++ {
+			now += cfg.PingInterval
+			m.Tick(now)
+		}
+		if d := degreeOf(nw, u); d != 0 {
+			t.Fatalf("cycle %d: %d ghost edges survive detection", cycle, d)
+		}
+		for _, p := range nw.Peers {
+			for _, nb := range p.Neighbors {
+				if nb == u {
+					t.Fatalf("cycle %d: peer %d still lists the dead peer as neighbor", cycle, p.ID)
+				}
+			}
+		}
+		return m.Stats().FailuresDetected - before
+	}
+
+	first := detect(1)
+	if first == 0 {
+		t.Fatal("first crash detected no failures")
+	}
+	now += cfg.PingInterval
+	if err := m.PeerUp(u, now); err != nil {
+		t.Fatalf("PeerUp: %v", err)
+	}
+	if degreeOf(nw, u) == 0 {
+		t.Fatal("rejoin bootstrapped no connections")
+	}
+	second := detect(2)
+	if second == 0 {
+		t.Fatal("second crash detected no failures (stale detector state)")
+	}
+}
+
+// TestHostCacheScreensSelfAndDead covers the repair-hint edge case: cached
+// candidates that resolve to the repairing peer itself or to a currently
+// offline peer are dropped before any dial, each screening counted in
+// RepairStats.HostRejected and mirrored to gnet_hostcache_rejected_total.
+func TestHostCacheScreensSelfAndDead(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw, err := New(DefaultConfig(21), 120)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	nw.Instrument(reg, nil)
+	cfg := DefaultRepairConfig(21)
+	m, err := NewMaintainer(nw, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewMaintainer: %v", err)
+	}
+	u := firstUltra(nw)
+	// Poison u's cache with its own address; seeding and Pong learning
+	// never insert it, but a hostile or buggy hint source could.
+	m.HostCacheOf(u).Add(nw.Peers[u].Addr)
+	// Crash an ultrapeer neighbor of u silently: u drops below target once
+	// detection fires and repairs from a cache that still holds dead (and
+	// now self) addresses.
+	v := -1
+	for _, nb := range nw.Peers[u].Neighbors {
+		if nw.Peers[nb].Ultrapeer {
+			v = nb
+			break
+		}
+	}
+	if v < 0 {
+		t.Fatal("no ultrapeer neighbor to crash")
+	}
+	if err := m.PeerDown(v, false); err != nil {
+		t.Fatalf("PeerDown: %v", err)
+	}
+	for round := int64(1); round <= 6; round++ {
+		m.Tick(round * cfg.PingInterval)
+	}
+	st := m.Stats()
+	if st.HostRejected == 0 {
+		t.Fatal("no cached candidates were screened out")
+	}
+	if degreeOf(nw, v) != 0 {
+		t.Fatalf("dead peer regained %d edges while offline", degreeOf(nw, v))
+	}
+	var counter int64 = -1
+	for _, sm := range reg.Snapshot().Metrics {
+		if sm.Name == "gnet_hostcache_rejected_total" {
+			counter = sm.Value
+		}
+	}
+	if counter != int64(st.HostRejected) {
+		t.Fatalf("gnet_hostcache_rejected_total = %d, RepairStats.HostRejected = %d", counter, st.HostRejected)
 	}
 }

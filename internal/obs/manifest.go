@@ -44,6 +44,13 @@ type Manifest struct {
 	Metrics     Snapshot     `json:"metrics"`
 	FloodTraces []FloodTrace `json:"flood_traces,omitempty"`
 
+	// Windows carries the windowed time series a long-horizon event-engine
+	// run streamed (success rate, message cost, partitions per window).
+	// The series are deterministic simulated-time data, so they are part
+	// of the fingerprint; runs that record none omit the field, keeping
+	// pre-existing fingerprints stable.
+	Windows []WindowSeries `json:"windows,omitempty"`
+
 	// Fingerprint is the SHA-256 of the manifest's deterministic content,
 	// set by Finalize.
 	Fingerprint string `json:"fingerprint,omitempty"`
@@ -52,13 +59,14 @@ type Manifest struct {
 // fingerprintView is the deterministic subset of a manifest: the volatile
 // fields (Workers, Phases, Fingerprint itself) are excluded.
 type fingerprintView struct {
-	SchemaVersion int          `json:"schema_version"`
-	Command       string       `json:"command"`
-	Mode          string       `json:"mode,omitempty"`
-	Scale         string       `json:"scale,omitempty"`
-	Seed          uint64       `json:"seed"`
-	Metrics       Snapshot     `json:"metrics"`
-	FloodTraces   []FloodTrace `json:"flood_traces,omitempty"`
+	SchemaVersion int            `json:"schema_version"`
+	Command       string         `json:"command"`
+	Mode          string         `json:"mode,omitempty"`
+	Scale         string         `json:"scale,omitempty"`
+	Seed          uint64         `json:"seed"`
+	Metrics       Snapshot       `json:"metrics"`
+	FloodTraces   []FloodTrace   `json:"flood_traces,omitempty"`
+	Windows       []WindowSeries `json:"windows,omitempty"`
 }
 
 // ComputeFingerprint returns the SHA-256 hex digest of the manifest's
@@ -73,6 +81,7 @@ func (m *Manifest) ComputeFingerprint() (string, error) {
 		Seed:          m.Seed,
 		Metrics:       m.Metrics,
 		FloodTraces:   m.FloodTraces,
+		Windows:       m.Windows,
 	})
 	if err != nil {
 		return "", err

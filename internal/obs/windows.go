@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Windowed time series complement the registry's end-of-run counters: a
+// long-horizon simulation (internal/events) closes a metrics window every
+// few simulated minutes and appends one point per series, so a run's
+// manifest carries the *shape* of a failure — the success-rate dip after a
+// crash burst and the repair-driven climb back — instead of only its
+// end-of-trial average.
+//
+// The same determinism contract as the registry applies: points are
+// appended from the single-goroutine window-close path in simulated-time
+// order, values are pure functions of the event schedule, and Snapshot
+// sorts series by name, so the serialized log is byte-identical across
+// runs and worker counts and is safe to include in the manifest
+// fingerprint.
+
+// WindowPoint is one window of one series: the half-open simulated-time
+// interval [Start, End) and the metric value measured over it.
+type WindowPoint struct {
+	Start int64   `json:"start"`
+	End   int64   `json:"end"`
+	Value float64 `json:"value"`
+}
+
+// WindowSeries is one named windowed metric.
+type WindowSeries struct {
+	Name   string        `json:"name"`
+	Points []WindowPoint `json:"points"`
+}
+
+// WindowLog accumulates windowed series. A nil *WindowLog is the disabled
+// plane: Add records nothing and Snapshot returns an empty slice, so
+// instrumented code never branches on attachment. The log is mutex-guarded
+// for incidental cross-goroutine snapshots, but appends must come from a
+// single goroutine in time order (the event engine's window-close handler)
+// for the output to be deterministic.
+type WindowLog struct {
+	mu     sync.Mutex
+	series map[string]*WindowSeries
+}
+
+// NewWindowLog returns an empty, enabled window log.
+func NewWindowLog() *WindowLog {
+	return &WindowLog{series: map[string]*WindowSeries{}}
+}
+
+// Add appends one point to the named series (no-op on a nil log).
+func (l *WindowLog) Add(name string, start, end int64, value float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.series[name]
+	if s == nil {
+		s = &WindowSeries{Name: name}
+		l.series[name] = s
+	}
+	s.Points = append(s.Points, WindowPoint{Start: start, End: end, Value: value})
+}
+
+// Len returns the number of series recorded (0 for a nil log).
+func (l *WindowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.series)
+}
+
+// Snapshot returns the recorded series sorted by name, points in append
+// (simulated-time) order. Empty, never nil, for a nil or empty log.
+func (l *WindowLog) Snapshot() []WindowSeries {
+	out := []WindowSeries{}
+	if l == nil {
+		return out
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.series {
+		cp := WindowSeries{Name: s.Name, Points: append([]WindowPoint(nil), s.Points...)}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

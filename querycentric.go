@@ -24,7 +24,9 @@ package querycentric
 import (
 	"io"
 
+	"querycentric/internal/events"
 	"querycentric/internal/experiments"
+	"querycentric/internal/faults"
 	"querycentric/internal/obs"
 )
 
@@ -41,12 +43,16 @@ type (
 	FloodTrace     = obs.FloodTrace
 	RunManifest    = obs.Manifest
 	PhaseTiming    = obs.PhaseTiming
+	WindowLog      = obs.WindowLog
+	WindowSeries   = obs.WindowSeries
+	WindowPoint    = obs.WindowPoint
 )
 
 // Observability constructors and helpers.
 var (
 	NewRegistry    = obs.NewRegistry
 	NewFloodTraces = obs.NewFloodTraces
+	NewWindowLog   = obs.NewWindowLog
 	RunFileName    = obs.RunFileName
 )
 
@@ -222,6 +228,73 @@ func ChurnRepair(e *Env) (*ChurnRepairResult, error) { return experiments.ChurnR
 // repair and measurement parameters.
 func ChurnRepairWith(e *Env, cfg ChurnRepairConfig) (*ChurnRepairResult, error) {
 	return experiments.ChurnRepairWith(e, cfg)
+}
+
+// Discrete-event simulation layer (see internal/events): a deterministic
+// timestamped priority queue onto which churn, fault bursts, overlay
+// maintenance and query floods are scheduled as interleaved events, with
+// windowed metrics streamed through the observability plane. The scenario
+// constructors package the canonical long-horizon workloads.
+type (
+	EventEngine    = events.Engine
+	EventPriority  = events.Priority
+	EventHandler   = events.Handler
+	Scenario       = events.Scenario
+	ScenarioKind   = events.Kind
+	ScenarioConfig = events.ScenarioConfig
+	ScenarioResult = events.ScenarioResult
+	ScenarioWindow = events.Window
+	FlashConfig    = events.FlashConfig
+	FaultBurst     = faults.Burst
+)
+
+// Event priorities (same-timestamp execution order) and scenario kinds.
+const (
+	PrioChurn  = events.PrioChurn
+	PrioFault  = events.PrioFault
+	PrioMaint  = events.PrioMaint
+	PrioQuery  = events.PrioQuery
+	PrioWindow = events.PrioWindow
+
+	SteadyState   = events.SteadyState
+	FaultRecovery = events.FaultRecovery
+	FlashCrowd    = events.FlashCrowd
+	DiurnalLoad   = events.DiurnalLoad
+)
+
+// Event-engine constructors and canonical scenario configurations.
+var (
+	NewEventEngine        = events.New
+	NewScenario           = events.NewScenario
+	SteadyStateScenario   = events.SteadyStateScenario
+	FaultRecoveryScenario = events.FaultRecoveryScenario
+	FlashCrowdScenario    = events.FlashCrowdScenario
+	DiurnalScenario       = events.DiurnalScenario
+	ValidateBursts        = faults.ValidateBursts
+)
+
+// Recovery types: the fault-burst recovery experiment on the event engine
+// (correlated crash, windowed success, time-to-recover with and without
+// the maintenance protocol).
+type (
+	RecoveryResult = experiments.RecoveryResult
+	RecoveryConfig = experiments.RecoveryConfig
+)
+
+// DefaultRecoveryConfig returns the standard recovery schedule (30% crash
+// one third into a two-hour run).
+func DefaultRecoveryConfig(seed uint64) RecoveryConfig {
+	return experiments.DefaultRecoveryConfig(seed)
+}
+
+// Recovery measures the overlay's recovery curve after a correlated crash
+// burst, with and without maintenance.
+func Recovery(e *Env) (*RecoveryResult, error) { return experiments.Recovery(e) }
+
+// RecoveryWith runs the recovery comparison with explicit burst, window
+// and repair parameters.
+func RecoveryWith(e *Env, cfg RecoveryConfig) (*RecoveryResult, error) {
+	return experiments.RecoveryWith(e, cfg)
 }
 
 // SweepPoint is one evaluation-interval setting's mean statistic.
