@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events recovery-smoke scalefull-smoke api-freeze obs-overhead-smoke ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke scalefull-smoke api-freeze obs-overhead-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -24,28 +24,40 @@ race:
 # on overlay maintenance) and the event-engine recovery curve with its
 # windowed metric series, plus the observability-plane contract: attaching
 # metrics never changes results, and enabled-metrics snapshots/manifest
-# fingerprints are identical at any worker count.
+# fingerprints are identical at any worker count. The snapshot tests extend
+# the gate to persistence: a restored network must reproduce the fresh
+# build's figures byte for byte, and a damaged snapshot must fail loudly.
 determinism:
-	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance|TestRecoveryWindowWorkerInvariance' ./internal/experiments/
+	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance|TestRecoveryWindowWorkerInvariance|TestSnapshotRoundTripMatchesFreshBuild|TestSnapshotLoadFailsLoudlyInEnv' ./internal/experiments/
 	$(GO) test -race -run 'TestScenarioDeterministicAndWorkerInvariant' ./internal/events/
 
-# Short fuzz of the wire-message decoder and the churn-timeline generator:
-# five seconds of mutation each must surface no panics, over-reads or
-# contract violations (ordering, alternation, determinism).
+# Short fuzz of the wire-message decoder, the churn-timeline generator and
+# the varint posting codec: five seconds of mutation each must surface no
+# panics, over-reads or contract violations (ordering, alternation,
+# determinism, round-trip identity).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=5s -run '^$$' ./internal/gmsg
 	$(GO) test -fuzz=FuzzTimelineConfig -fuzztime=5s -run '^$$' ./internal/churn
+	$(GO) test -fuzz=FuzzVarintPostings -fuzztime=5s -run '^$$' ./internal/vpost
 
 # Flood hot-path, parallel-engine and term-index measurements ->
-# BENCH_flood.json (the index section compares interned vs legacy string
-# indexes at the default scale).
+# out/BENCH_flood.json (the index section compares interned vs legacy
+# string indexes at the default scale).
 bench:
-	$(GO) run ./cmd/qc-bench -o BENCH_flood.json -scale small -index-scale default
+	$(GO) run ./cmd/qc-bench -o out/BENCH_flood.json -scale small -index-scale default
 
-# Discrete-event engine throughput -> BENCH_events.json: queue-dispatch
+# Discrete-event engine throughput -> out/BENCH_events.json: queue-dispatch
 # micro-benchmarks plus a full steady-state scenario at the small scale.
 bench-events:
-	$(GO) run ./cmd/qc-bench -events -o BENCH_events.json -scale small
+	$(GO) run ./cmd/qc-bench -events -o out/BENCH_events.json -scale small
+
+# Snapshot persistence round trip -> out/BENCH_snapshot.json: build the
+# default-scale network, save it, load it back, verify the restored index
+# checksum and report save/load wall-clock, file size and how far the
+# varint arenas compress the postings.
+bench-snapshot:
+	$(GO) run ./cmd/qc-bench -index-only -index-scale default -index-legacy=false \
+		-snapshot-file out/net_default.qcsnap -o out/BENCH_snapshot.json
 
 # Recovery smoke: a tiny-scale correlated-crash run through the CLI must end
 # with the repaired overlay no worse than the unrepaired one.
@@ -62,9 +74,12 @@ recovery-smoke:
 # regressions that push 37k-peer / 8.1M-object construction out of a CI-able
 # budget are caught without running full experiments. The budget leaves
 # ~2x headroom over the measured single-CPU build (see BENCH_index_full.json).
+# The snapshot leg saves the built network, loads it back and fails unless
+# the restored checksum matches and the load takes at most a tenth of the
+# build (the substrate's reuse guarantee at paper scale).
 scalefull-smoke:
 	$(GO) run ./cmd/qc-bench -index-only -index-scale full -index-legacy=false \
-		-budget 10m -o out/BENCH_index_full.json
+		-budget 10m -snapshot-file out/net_full.qcsnap -o out/BENCH_index_full.json
 
 # Regenerate-and-diff check on the frozen public API surface (API.txt).
 # Regenerate after an intentional API change with:
@@ -74,9 +89,10 @@ api-freeze:
 
 # Metrics-overhead smoke: the flood hot path with a live registry attached
 # must stay within 10% of the detached baseline (or the recorded flood_ctx
-# row in BENCH_flood.json, whichever is looser).
+# row in out/BENCH_flood.json, whichever is looser).
 obs-overhead-smoke:
-	$(GO) run ./cmd/qc-bench -obs-overhead -peers 500 -benchtime 100ms
+	$(GO) run ./cmd/qc-bench -obs-overhead -peers 500 -benchtime 100ms \
+		-o out/BENCH_flood.json
 
 # The CI gate: static checks, formatting, a clean build, the full suite
 # under the race detector, the workers=8 determinism regression, the

@@ -1,5 +1,5 @@
 // Command qc-bench measures the flood hot path and the parallel trial
-// engine and writes a machine-readable report (BENCH_flood.json):
+// engine and writes a machine-readable report (out/BENCH_flood.json):
 //
 //   - ns/op, B/op and allocs/op for one TTL-4 flood on a populated
 //     network, for both the optimised FloodCtx and a map-based baseline
@@ -18,7 +18,11 @@
 //
 // With -index-only the flood and Fig8 sections are skipped — this is the
 // paper-scale construction smoke (`make scalefull-smoke`), which fails if
-// construction exceeds -budget.
+// construction exceeds -budget. Adding -snapshot-file appends a `snapshot`
+// section: the built network is saved to the given file and loaded back,
+// timing both legs and verifying the restored index checksum; in
+// -index-only mode the smoke additionally fails unless the load completes
+// in at most a tenth of the build time.
 //
 // With -obs-overhead the command instead runs the observability-plane
 // overhead smoke: the flood micro-benchmark once with the metrics plane
@@ -32,10 +36,11 @@
 //
 // Usage:
 //
-//	qc-bench -o BENCH_flood.json -scale tiny
+//	qc-bench -o out/BENCH_flood.json -scale tiny
 //	qc-bench -index-only -index-scale full -index-legacy=false -budget 15m
+//	qc-bench -index-only -snapshot-file out/net.qcsnap -o out/BENCH_snapshot.json
 //	qc-bench -obs-overhead -peers 500 -benchtime 100ms
-//	qc-bench -events -o BENCH_events.json -scale small
+//	qc-bench -events -o out/BENCH_events.json -scale small
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -56,6 +62,7 @@ import (
 	"querycentric/internal/gnet"
 	"querycentric/internal/obs"
 	"querycentric/internal/rng"
+	"querycentric/internal/snapshot"
 )
 
 // FloodBench is one micro-benchmark row.
@@ -113,6 +120,28 @@ type IndexBench struct {
 	WithinBudget  bool    `json:"within_budget"`
 }
 
+// SnapshotBench records the persistence round trip on the network the index
+// section just built: save and load wall-clock against the fresh-build
+// wall-clock, the snapshot file size, and how far the varint posting arenas
+// compress the postings relative to the flat 4-bytes-per-posting layout the
+// snapshot would otherwise have to carry.
+type SnapshotBench struct {
+	File  string `json:"file"`
+	Scale string `json:"scale"`
+
+	BuildSeconds float64 `json:"build_seconds"` // catalog + network + indexes
+	SaveSeconds  float64 `json:"save_seconds"`
+	LoadSeconds  float64 `json:"load_seconds"`
+	LoadSpeedup  float64 `json:"load_speedup_vs_build"`
+
+	FileBytes        int64   `json:"file_bytes"`
+	ArenaBytes       uint64  `json:"arena_bytes"`        // varint posting arenas + skip arrays
+	FlatPostingBytes uint64  `json:"flat_posting_bytes"` // 4 bytes per posting, uncompressed
+	ArenaCompression float64 `json:"arena_compression_ratio"`
+
+	ChecksumMatch bool `json:"checksum_match"`
+}
+
 // EventsBench records discrete-event engine throughput (the -events
 // section, BENCH_events.json): two pure dispatch micro-benchmarks on the
 // priority queue — a self-rescheduling tick chain (shallow queue, the
@@ -154,6 +183,8 @@ type Report struct {
 
 	Index *IndexBench `json:"index,omitempty"`
 
+	Snapshot *SnapshotBench `json:"snapshot,omitempty"`
+
 	Events *EventsBench `json:"events,omitempty"`
 
 	Note string `json:"note"`
@@ -162,7 +193,7 @@ type Report struct {
 func main() {
 	testing.Init() // register -test.* flags so benchtime is adjustable
 	var (
-		out         = flag.String("o", "BENCH_flood.json", "output file")
+		out         = flag.String("o", "out/BENCH_flood.json", "output file (parent directory is created)")
 		peers       = flag.Int("peers", 2000, "network size for the flood micro-benchmark")
 		scaleName   = cliflags.AddScale(flag.CommandLine, "tiny")
 		seed        = cliflags.AddSeed(flag.CommandLine)
@@ -173,6 +204,7 @@ func main() {
 		budget      = flag.Duration("budget", 0, "fail if the index section's construction phases exceed this wall-clock budget (0 = no budget)")
 		obsOverhead = flag.Bool("obs-overhead", false, "run only the observability-plane overhead smoke (exit 1 if instrumented floods are >10% slower)")
 		eventsOnly  = flag.Bool("events", false, "run only the discrete-event engine throughput section (BENCH_events.json)")
+		snapFile    = flag.String("snapshot-file", "", "also save/load the index section's network through this snapshot file and report the round trip")
 	)
 	flag.Parse()
 	if err := cliflags.CheckPositive("-peers", *peers); err != nil {
@@ -267,11 +299,19 @@ func main() {
 		}
 	}
 
-	ib, err := runIndexBench(*indexScale, *seed, *indexLegac, *budget, *benchtime)
+	ib, sb, err := runIndexBench(*indexScale, *seed, *indexLegac, *budget, *benchtime, *snapFile)
 	if err != nil {
 		fail(err)
 	}
 	rep.Index = ib
+	rep.Snapshot = sb
+	if sb != nil {
+		rep.Note += " The snapshot section is one save/load round trip " +
+			"measured on this machine, not a benchmark mean; the load " +
+			"rebuilds derived structures (membership filters, QRP hash " +
+			"products, global term frequencies) in parallel, so with " +
+			"num_cpu=1 the reported load time is the serial worst case."
+	}
 
 	writeReport(rep, *out)
 	if !ib.WithinBudget {
@@ -279,15 +319,29 @@ func main() {
 			ib.CatalogSeconds+ib.NetworkSeconds+ib.IndexBuildSeconds, ib.BudgetSeconds)
 		os.Exit(1)
 	}
+	if sb != nil && !sb.ChecksumMatch {
+		fmt.Fprintln(os.Stderr, "qc-bench: snapshot round trip changed the index checksum")
+		os.Exit(1)
+	}
+	if *indexOnly && sb != nil && sb.LoadSeconds > sb.BuildSeconds/10 {
+		fmt.Fprintf(os.Stderr, "qc-bench: snapshot load %.2fs exceeds a tenth of the %.2fs build\n",
+			sb.LoadSeconds, sb.BuildSeconds)
+		os.Exit(1)
+	}
 }
 
-// writeReport marshals the report to path.
+// writeReport marshals the report to path, creating parent directories.
 func writeReport(rep Report, path string) {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail(err)
 	}
 	buf = append(buf, '\n')
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fail(err)
+		}
+	}
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		fail(err)
 	}
@@ -426,10 +480,12 @@ func heapUsed() uint64 {
 // at one scale: catalog build, network+dictionary build, eager index build,
 // heap-in-use around each phase, and optionally the legacy string index
 // built from the same catalog plus a match micro-benchmark down both paths.
-func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, benchtime time.Duration) (*IndexBench, error) {
+// With a non-empty snapFile it also rounds the network through a snapshot
+// (save, stat, load, checksum) and returns that leg as a SnapshotBench.
+func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, benchtime time.Duration, snapFile string) (*IndexBench, *SnapshotBench, error) {
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	par := experiments.ParamsFor(scale)
 	ib := &IndexBench{
@@ -449,27 +505,27 @@ func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, bench
 	t0 := time.Now()
 	cat, err := catalog.Build(ccfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ib.CatalogSeconds = time.Since(t0).Seconds()
 	ib.Placements = cat.TotalPlacements
 	t0 = time.Now()
 	nw, err := gnet.NewFromCatalog(gcfg, cat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ib.NetworkSeconds = time.Since(t0).Seconds()
 	ib.HeapAfterBuildBytes = heapUsed()
 	t0 = time.Now()
 	if err := nw.BuildIndexes(0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ib.IndexBuildSeconds = time.Since(t0).Seconds()
 	ib.HeapAfterIndexBytes = heapUsed()
 
 	st, err := nw.IndexStats()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d := nw.TermDict()
 	ib.DictTerms = st.DictTerms
@@ -490,12 +546,12 @@ func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, bench
 	if withLegacy {
 		lw, err := gnet.NewFromCatalog(gcfg, cat)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		lw.UseLegacyStringIndex()
 		before := heapUsed()
 		if err := lw.BuildIndexes(0); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		after := heapUsed()
 		if after > before {
@@ -503,7 +559,7 @@ func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, bench
 		}
 		lst, err := lw.IndexStats()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ib.LegacyHeapBytes = lst.HeapBytes
 		if ib.InternedHeapBytes > 0 {
@@ -552,7 +608,52 @@ func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, bench
 	}
 	runtime.KeepAlive(nw)
 	runtime.KeepAlive(cat)
-	return ib, nil
+
+	if snapFile == "" {
+		return ib, nil, nil
+	}
+	sb := &SnapshotBench{
+		File: snapFile, Scale: scaleName,
+		BuildSeconds:     ib.CatalogSeconds + ib.NetworkSeconds + ib.IndexBuildSeconds,
+		ArenaBytes:       st.ArenaBytes,
+		FlatPostingBytes: 4 * uint64(st.Postings),
+	}
+	if sb.ArenaBytes > 0 {
+		sb.ArenaCompression = float64(sb.FlatPostingBytes) / float64(sb.ArenaBytes)
+	}
+	wantSum, err := nw.IndexChecksum()
+	if err != nil {
+		return nil, nil, err
+	}
+	t0 = time.Now()
+	if _, err := snapshot.Save(snapFile, nw, 0); err != nil {
+		return nil, nil, err
+	}
+	sb.SaveSeconds = time.Since(t0).Seconds()
+	fi, err := os.Stat(snapFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb.FileBytes = fi.Size()
+	t0 = time.Now()
+	restored, err := snapshot.Load(snapFile, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb.LoadSeconds = time.Since(t0).Seconds()
+	if sb.LoadSeconds > 0 {
+		sb.LoadSpeedup = sb.BuildSeconds / sb.LoadSeconds
+	}
+	gotSum, err := restored.IndexChecksum()
+	if err != nil {
+		return nil, nil, err
+	}
+	sb.ChecksumMatch = gotSum == wantSum
+	fmt.Fprintf(os.Stderr, "qc-bench: snapshot save %.2fs, load %.2fs (%.1fx faster than the %.2fs build), %.1f MiB file, arena %.1f MiB vs %.1f MiB flat (%.2fx), checksum match=%v\n",
+		sb.SaveSeconds, sb.LoadSeconds, sb.LoadSpeedup, sb.BuildSeconds,
+		float64(sb.FileBytes)/(1<<20), float64(sb.ArenaBytes)/(1<<20),
+		float64(sb.FlatPostingBytes)/(1<<20), sb.ArenaCompression, sb.ChecksumMatch)
+	return ib, sb, nil
 }
 
 // runBench adapts testing.Benchmark to a FloodBench row.
@@ -585,11 +686,16 @@ func buildNet(peers int) (*gnet.Network, string) {
 	if err != nil {
 		fail(err)
 	}
+	// Build term indexes (and the global term-frequency table floods use
+	// for rarest-first probing) outside the timed region.
+	if err := nw.BuildIndexes(0); err != nil {
+		fail(err)
+	}
 	criteria := ""
 	for _, p := range nw.Peers {
-		p.Match("warmup") // build term indexes outside the timed region
-		if criteria == "" && len(p.Library) > 0 {
+		if len(p.Library) > 0 {
 			criteria = p.Library[0].Name
+			break
 		}
 	}
 	return nw, criteria

@@ -56,6 +56,7 @@ func main() {
 		workers    = cliflags.AddWorkers(flag.CommandLine)
 		profiles   = cliflags.AddProfiles(flag.CommandLine)
 		obsFlags   = cliflags.AddObs(flag.CommandLine, "qc-crawl")
+		snapFlags  = cliflags.AddSnapshot(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -136,9 +137,11 @@ func main() {
 			PeerDepart:     *faultDepart,
 			MessageLoss:    *faultLoss,
 		},
-		MaxAttempts: *attempts,
-		Obs:         reg,
-		FloodTraces: traces,
+		MaxAttempts:  *attempts,
+		Obs:          reg,
+		FloodTraces:  traces,
+		SnapshotSave: snapFlags.Save,
+		SnapshotLoad: snapFlags.Load,
 	})
 	if err != nil {
 		fail(err)

@@ -28,6 +28,7 @@ func main() {
 		workers   = cliflags.AddWorkers(flag.CommandLine)
 		profiles  = cliflags.AddProfiles(flag.CommandLine)
 		obsFlags  = cliflags.AddObs(flag.CommandLine, "qc-figures")
+		snapFlags = cliflags.AddSnapshot(flag.CommandLine)
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
@@ -51,6 +52,7 @@ func main() {
 	}()
 	env := qc.NewEnv(scale, *seed)
 	env.Workers = *workers
+	env.SnapshotSave, env.SnapshotLoad = snapFlags.Save, snapFlags.Load
 	env.Obs, env.FloodTraces = obsFlags.Setup()
 	if env.Obs != nil {
 		parallel.Instrument(env.Obs)

@@ -35,6 +35,23 @@ func AddWorkers(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results are identical for every value")
 }
 
+// SnapshotFlags holds the shared network-snapshot persistence flag values.
+type SnapshotFlags struct {
+	// Save is a path to persist the built Gnutella population to (empty:
+	// don't save). Load restores the population from an existing snapshot
+	// instead of rebuilding it (empty: build fresh).
+	Save string
+	Load string
+}
+
+// AddSnapshot registers the shared -snapshot-save/-snapshot-load flags.
+func AddSnapshot(fs *flag.FlagSet) *SnapshotFlags {
+	s := &SnapshotFlags{}
+	fs.StringVar(&s.Save, "snapshot-save", "", "persist the built Gnutella population to this snapshot file")
+	fs.StringVar(&s.Load, "snapshot-load", "", "restore the Gnutella population from this snapshot file instead of rebuilding it (byte-identical results, ~10x faster)")
+	return s
+}
+
 // Profiles holds the shared profiling flag values.
 type Profiles struct {
 	CPU string

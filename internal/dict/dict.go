@@ -12,6 +12,13 @@
 // arrays, and lets the QRP hash of every term be computed once per network
 // instead of once per (peer, flood).
 //
+// Storage is a single byte arena plus offsets: term id's bytes are
+// termBytes[termOff[id]:termOff[id+1]], and Term returns a zero-copy view
+// into the arena. A map accelerates token→ID lookups while indexes are
+// being built; Compact drops it once construction ends, leaving binary
+// search over the (lexicographically ordered) arena — a few string
+// compares per query token, paid once per flood.
+//
 // Determinism: IDs are assigned in lexicographic term order, so the
 // dictionary built from a given name multiset is identical regardless of
 // how the build was sharded across workers.
@@ -36,11 +43,12 @@ type TermID uint32
 const NoTerm TermID = ^TermID(0)
 
 // Dict is an immutable interned term dictionary. Safe for concurrent use
-// after Build returns.
+// after Build returns; Compact must not race with lookups.
 type Dict struct {
-	byID  []string          // TermID → canonical term string
-	ids   map[string]TermID // term → TermID
-	prods []uint32          // TermID → QRP hash product (pre-shift)
+	termBytes []byte            // all term bytes, concatenated in ID order
+	termOff   []uint32          // TermID → termBytes offset; Len()+1 entries
+	ids       map[string]TermID // construction-phase lookup; nil after Compact
+	prods     []uint32          // TermID → QRP hash product (pre-shift)
 }
 
 // Build interns every token of every name in libraries. Tokenization fans
@@ -87,33 +95,48 @@ func Build(libraries [][]string, workers int) *Dict {
 			union[tok] = struct{}{}
 		}
 	}
-	d := &Dict{
-		byID: make([]string, 0, len(union)),
-		ids:  make(map[string]TermID, len(union)),
-	}
+	sorted := make([]string, 0, len(union))
+	var total int
 	for tok := range union {
-		d.byID = append(d.byID, tok)
+		sorted = append(sorted, tok)
+		total += len(tok)
 	}
-	sort.Strings(d.byID)
-	d.prods = make([]uint32, len(d.byID))
-	for i, tok := range d.byID {
-		d.ids[tok] = TermID(i)
+	sort.Strings(sorted)
+	// Spill the sorted terms into the arena; the shard sets, the union and
+	// the sorted string headers are all transient — after Build returns
+	// (and a GC), the dictionary retains only arena + offsets + map.
+	d := &Dict{
+		termBytes: make([]byte, 0, total),
+		termOff:   make([]uint32, 1, len(sorted)+1),
+		ids:       make(map[string]TermID, len(sorted)),
 	}
-	// QRP products are pure per term; hash them in parallel chunks.
+	for i, tok := range sorted {
+		d.termBytes = append(d.termBytes, tok...)
+		d.termOff = append(d.termOff, uint32(len(d.termBytes)))
+		// Key the map by the arena view, not the transient clone.
+		d.ids[d.Term(TermID(i))] = TermID(i)
+	}
+	d.prods = make([]uint32, len(sorted))
+	d.hashProducts(workers)
+	return d
+}
+
+// hashProducts fills prods with the QRP hash of every term. Products are
+// pure per term, so parallel chunking cannot change the result.
+func (d *Dict) hashProducts(workers int) {
 	const chunk = 8192
-	nChunks := (len(d.byID) + chunk - 1) / chunk
+	nChunks := (d.Len() + chunk - 1) / chunk
 	_ = parallel.ForEach(workers, nChunks, func(c int) error {
 		lo := c * chunk
 		hi := lo + chunk
-		if hi > len(d.byID) {
-			hi = len(d.byID)
+		if hi > d.Len() {
+			hi = d.Len()
 		}
 		for i := lo; i < hi; i++ {
-			d.prods[i] = qrp.HashProduct(d.byID[i])
+			d.prods[i] = qrp.HashProduct(d.Term(TermID(i)))
 		}
 		return nil
 	})
-	return d
 }
 
 // FromNames builds a dictionary over a flat name list (one "library").
@@ -121,24 +144,94 @@ func FromNames(names []string, workers int) *Dict {
 	return Build([][]string{names}, workers)
 }
 
-// Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.byID) }
+// Raw returns the dictionary's storage — the concatenated term arena and
+// its Len()+1 offsets — for persistence. The slices are views of the live
+// dictionary; treat them as immutable.
+func (d *Dict) Raw() (termBytes []byte, termOff []uint32) {
+	return d.termBytes, d.termOff
+}
 
-// Term returns the canonical string of id. It panics on out-of-range IDs
+// FromRaw reconstructs a dictionary from a persisted arena: offsets are
+// validated (monotone, bounded, terms in strict lexicographic order — the
+// invariant binary-search Lookup depends on) and the QRP hash products are
+// recomputed in parallel chunks over up to `workers` goroutines. The
+// result is Compact (no construction-phase lookup map) and adopts the
+// given slices without copying.
+func FromRaw(termBytes []byte, termOff []uint32, workers int) (*Dict, error) {
+	if len(termOff) == 0 {
+		return nil, fmt.Errorf("dict: FromRaw: missing offset table")
+	}
+	if termOff[0] != 0 || termOff[len(termOff)-1] != uint32(len(termBytes)) {
+		return nil, fmt.Errorf("dict: FromRaw: offsets span [%d,%d] over %d arena bytes",
+			termOff[0], termOff[len(termOff)-1], len(termBytes))
+	}
+	d := &Dict{termBytes: termBytes, termOff: termOff}
+	for i := 1; i < d.Len(); i++ {
+		if termOff[i] > termOff[i+1] {
+			return nil, fmt.Errorf("dict: FromRaw: offsets not monotone at term %d", i)
+		}
+		if d.Term(TermID(i-1)) >= d.Term(TermID(i)) {
+			return nil, fmt.Errorf("dict: FromRaw: terms out of order at %d", i)
+		}
+	}
+	d.prods = make([]uint32, d.Len())
+	d.hashProducts(workers)
+	return d, nil
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.termOff) - 1 }
+
+// Term returns the canonical string of id — a zero-copy view into the
+// term arena (immutable, so safe to hold). It panics on out-of-range IDs
 // (including NoTerm), like a slice index.
-func (d *Dict) Term(id TermID) string { return d.byID[id] }
+func (d *Dict) Term(id TermID) string {
+	lo, hi := d.termOff[id], d.termOff[id+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&d.termBytes[lo], int(hi-lo))
+}
+
+// Compact drops the construction-phase lookup map: Lookup, Intern and
+// Resolve fall back to binary search over the arena (terms are stored in
+// lexicographic order). Call once per-peer index construction is done —
+// query resolution touches a handful of tokens per flood, where a few
+// string compares are noise, while the map is tens of bytes per term at
+// paper scale. Must not race with concurrent lookups.
+func (d *Dict) Compact() { d.ids = nil }
+
+// search binary-searches the arena for tok.
+func (d *Dict) search(tok string) (TermID, bool) {
+	lo, hi := 0, d.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.Term(TermID(mid)) < tok {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < d.Len() && d.Term(TermID(lo)) == tok {
+		return TermID(lo), true
+	}
+	return NoTerm, false
+}
 
 // Lookup resolves one token.
 func (d *Dict) Lookup(tok string) (TermID, bool) {
-	id, ok := d.ids[tok]
-	return id, ok
+	if d.ids != nil {
+		id, ok := d.ids[tok]
+		return id, ok
+	}
+	return d.search(tok)
 }
 
 // Intern returns the dictionary's canonical instance of tok (so callers can
 // drop the backing array tok was sliced from) and whether tok is known.
 func (d *Dict) Intern(tok string) (string, bool) {
-	if id, ok := d.ids[tok]; ok {
-		return d.byID[id], true
+	if id, ok := d.Lookup(tok); ok {
+		return d.Term(id), true
 	}
 	return tok, false
 }
@@ -150,7 +243,7 @@ func (d *Dict) Intern(tok string) (string, bool) {
 func (d *Dict) Resolve(toks []string, dst []TermID) (ids []TermID, ok bool) {
 	ok = true
 	for _, tok := range toks {
-		id, known := d.ids[tok]
+		id, known := d.Lookup(tok)
 		if !known {
 			id = NoTerm
 			ok = false
@@ -170,31 +263,35 @@ func (d *Dict) Slot(id TermID, bits uint) uint32 {
 	return qrp.SlotOf(d.prods[id], bits)
 }
 
-// HeapBytes estimates the dictionary's retained heap: term bytes, the
-// ID slices and the lookup map (conservative per-entry estimate).
+// HeapBytes estimates the dictionary's retained heap: the term arena,
+// offsets, QRP products, and — until Compact — the lookup map
+// (conservative per-entry estimate; its keys are arena views, so only
+// headers and buckets count).
 func (d *Dict) HeapBytes() uint64 {
-	var b uint64
-	for _, t := range d.byID {
-		b += uint64(len(t))
-	}
-	b += uint64(len(d.byID)) * uint64(unsafe.Sizeof("")) // string headers
+	b := uint64(len(d.termBytes))
+	b += uint64(len(d.termOff)) * 4
 	b += uint64(len(d.prods)) * 4
-	// map[string]TermID: ~per-bucket overhead + key header + value.
-	b += uint64(len(d.ids)) * (uint64(unsafe.Sizeof("")) + 4 + 16)
+	if d.ids != nil {
+		// map[string]TermID: key header + value + ~per-bucket overhead.
+		b += uint64(len(d.ids)) * (uint64(unsafe.Sizeof("")) + 4 + 16)
+	}
 	return b
 }
 
 // Checksum folds the dictionary into a 64-bit FNV-1a fingerprint (for
-// worker-count determinism gates).
+// worker-count determinism gates). The value depends only on the term
+// sequence, not on storage layout or Compact state.
 func (d *Dict) Checksum() uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, t := range d.byID {
-		for i := 0; i < len(t); i++ {
-			h = (h ^ uint64(t[i])) * prime64
+	n := d.Len()
+	for i := 0; i < n; i++ {
+		t := d.Term(TermID(i))
+		for j := 0; j < len(t); j++ {
+			h = (h ^ uint64(t[j])) * prime64
 		}
 		h = (h ^ 0xff) * prime64
 	}

@@ -18,6 +18,7 @@ import (
 	"querycentric/internal/obs"
 	"querycentric/internal/parallel"
 	"querycentric/internal/querygen"
+	"querycentric/internal/snapshot"
 	"querycentric/internal/trace"
 )
 
@@ -146,6 +147,16 @@ type Env struct {
 	// manifest next to the scalar metrics and are fingerprinted with them.
 	Windows *obs.WindowLog
 
+	// SnapshotLoad, when non-empty, restores the Gnutella population from
+	// this snapshot file instead of building catalog + network + indexes
+	// (ObjectTrace still runs the crawler against the restored network; a
+	// restored network behaves byte-identically to a fresh build, so every
+	// downstream figure is unchanged). SnapshotSave, when non-empty,
+	// persists the population to this path once it exists — after a fresh
+	// build or even after a load, re-saving what was restored.
+	SnapshotLoad string
+	SnapshotSave string
+
 	mu        sync.Mutex
 	objTrace  *trace.ObjectTrace
 	objStats  *crawler.Stats
@@ -186,31 +197,50 @@ func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
 	if e.objTrace != nil {
 		return e.objTrace, e.objStats, nil
 	}
-	stop := e.Obs.StartPhase("env/catalog")
-	cat, err := catalog.BuildWorkers(catalog.Config{
-		Seed:                e.Seed,
-		Peers:               e.P.GnutellaPeers,
-		UniqueObjects:       e.P.UniqueObjects,
-		ReplicaAlpha:        2.45,
-		VariantProb:         0.08,
-		NonSpecificPeerFrac: 0.05,
-	}, e.Workers)
-	stop()
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: building catalog: %w", err)
+	var nw *gnet.Network
+	if e.SnapshotLoad != "" {
+		stop := e.Obs.StartPhase("env/snapshot-load")
+		var err error
+		nw, err = snapshot.Load(e.SnapshotLoad, e.Workers)
+		stop()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: loading snapshot: %w", err)
+		}
+	} else {
+		stop := e.Obs.StartPhase("env/catalog")
+		cat, err := catalog.BuildWorkers(catalog.Config{
+			Seed:                e.Seed,
+			Peers:               e.P.GnutellaPeers,
+			UniqueObjects:       e.P.UniqueObjects,
+			ReplicaAlpha:        2.45,
+			VariantProb:         0.08,
+			NonSpecificPeerFrac: 0.05,
+		}, e.Workers)
+		stop()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: building catalog: %w", err)
+		}
+		gcfg := gnet.DefaultConfig(e.Seed)
+		gcfg.FirewalledFrac = e.P.FirewalledFrac
+		stop = e.Obs.StartPhase("env/network")
+		nw, err = gnet.NewFromCatalogWorkers(gcfg, cat, e.Workers)
+		stop()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: building network: %w", err)
+		}
 	}
-	gcfg := gnet.DefaultConfig(e.Seed)
-	gcfg.FirewalledFrac = e.P.FirewalledFrac
-	stop = e.Obs.StartPhase("env/network")
-	nw, err := gnet.NewFromCatalogWorkers(gcfg, cat, e.Workers)
-	stop()
-	if err != nil {
-		return nil, nil, fmt.Errorf("experiments: building network: %w", err)
+	if e.SnapshotSave != "" {
+		stop := e.Obs.StartPhase("env/snapshot-save")
+		_, err := snapshot.Save(e.SnapshotSave, nw, e.Workers)
+		stop()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: saving snapshot: %w", err)
+		}
 	}
 	e.instrumentNetwork(nw)
 	ccfg := crawler.DefaultConfig()
 	ccfg.Obs = e.Obs
-	stop = e.Obs.StartPhase("env/crawl")
+	stop := e.Obs.StartPhase("env/crawl")
 	tr, st, err := crawler.Crawl(nw, ccfg)
 	stop()
 	if err != nil {

@@ -153,6 +153,10 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	matchable := len(toks) > 0
 	if matchable && d != nil {
 		c.qids, _ = d.Resolve(toks, c.qids[:0])
+		// Probe order only: globally-rare terms miss at most peers, and one
+		// miss ends a conjunctive match, so every reached peer's first
+		// binary-search probe is the one likeliest to settle it.
+		nw.sortByGlobalDF(c.qids)
 	}
 	hoist := c.hoistQRPToks(criteria, toks)
 	plane := nw.faults

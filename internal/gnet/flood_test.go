@@ -226,9 +226,10 @@ func benchNet(b *testing.B, peers int) *Network {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Warm the term indexes so the benchmark measures the flood loop.
-	for _, p := range nw.Peers {
-		p.Match("warmup")
+	// Warm the term indexes (and the flood path's rarest-first term
+	// frequencies) so the benchmark measures the flood loop.
+	if err := nw.BuildIndexes(0); err != nil {
+		b.Fatal(err)
 	}
 	return nw
 }

@@ -102,8 +102,11 @@ type Network struct {
 
 	// dict is the network-wide interned term dictionary, built once from
 	// the catalog all peers share (nil for networks assembled without one,
-	// and after UseLegacyStringIndex).
-	dict *dict.Dict
+	// and after UseLegacyStringIndex). termDF[id] is the network-wide
+	// posting count of term id, folded by BuildIndexes so floods can probe
+	// each peer's index rarest-term-first (see sortByGlobalDF).
+	dict   *dict.Dict
+	termDF []int32
 
 	// qrpTables[p] is leaf p's query-route table, held by its ultrapeers;
 	// nil while QRP is disabled. qrpBits is the table width, recorded so
@@ -152,10 +155,10 @@ func (nw *Network) EnableQRP(bits uint) error {
 		if interned && !p.legacy {
 			// p.dict is the shared dictionary unless this peer's library
 			// was mutated after construction and it fell back to a local
-			// one; either way idx.termIDs resolve against p.dict.
-			for _, id := range p.idx.termIDs {
+			// one; either way the index's term IDs resolve against p.dict.
+			p.idx.forEach(func(id dict.TermID, _ postingsRef) {
 				t.AddSlot(p.dict.Slot(id, bits))
-			}
+			})
 		} else {
 			for _, f := range p.Library {
 				t.AddName(f.Name)

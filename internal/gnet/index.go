@@ -8,37 +8,236 @@ import (
 	"querycentric/internal/dict"
 	"querycentric/internal/parallel"
 	"querycentric/internal/terms"
+	"querycentric/internal/vpost"
 )
 
 // This file implements the interned-ID query path: per-peer posting indexes
-// keyed by dict.TermID instead of strings. A peer's index is three flat
-// arrays — sorted term IDs, offsets, and one shared postings arena — which
-// replaces the map[string][]int32 of the legacy path (index_legacy.go) at a
-// fraction of the retained heap and with integer comparisons on the match
-// hot path.
+// keyed by dict.TermID instead of strings. A peer's index is a blocked
+// varint arena — a skip array of every postingBlockLen-th term ID plus one
+// delta-encoded byte arena holding term-ID gaps and posting lists — which
+// replaces both the map[string][]int32 of the legacy path (index_legacy.go)
+// and the flat []int32 arena of the first interned layout at roughly a
+// quarter of the retained heap. Lookups binary-search the skip array and
+// scan at most one block; intersections stream posting lists through
+// vpost.Cursor without materializing anything but the rarest list.
 
-// postingIndex is a peer's compact term → files index. Posting list k
-// (for termIDs[k]) is postings[offsets[k]:offsets[k+1]], ascending file
-// indices. offsets has len(termIDs)+1 entries.
+// postingBlockLen is how many terms share one skip-array entry. Smaller
+// blocks cost more skip-array memory (8 bytes per block) but shorten the
+// in-block scan on the match hot path.
+const postingBlockLen = 16
+
+// postingIndex is a peer's compact term → files index. Terms are grouped
+// into blocks of postingBlockLen in ascending TermID order; blockFirst[b]
+// is block b's first term ID and blockOff[b] its byte offset into arena.
+//
+// Each block splits its term-ID stream from its posting payloads so the
+// hot miss path never touches payload bytes:
+//
+//	[idLen u8] [multiMask u16le] [id deltas] [payloads]
+//
+// The id section holds uvarint gaps between consecutive term IDs for
+// entries 1..n-1 (entry 0's ID is blockFirst[b], kept out of the arena);
+// idLen is its byte length. Bit k of multiMask marks entry k as holding
+// more than one posting. A single-posting payload is one uvarint (the
+// posting itself — identical bytes to a one-element vpost body); a multi
+// payload is uvarint(count≥2) followed by the vpost body.
 type postingIndex struct {
-	termIDs  []dict.TermID
-	offsets  []uint32
-	postings []int32
+	nTerms     int
+	nPostings  int
+	blockFirst []dict.TermID
+	blockOff   []uint32
+	arena      []byte
+
+	// filter is a one-hash membership bitset over the index's term IDs
+	// (≥ filterBitsPerTerm bits per term, power-of-two sized). Most flood
+	// probes are for terms the peer does not hold; the filter rejects
+	// ~90% of those with a single load before the block scan runs. No
+	// false negatives: every present term's bit is set.
+	filter []uint64
+	fbits  uint // log2 of the filter size in bits
 }
 
-// lookup returns the arena window of id's posting list.
-func (ix *postingIndex) lookup(id dict.TermID) (lo, hi uint32, ok bool) {
-	i := sort.Search(len(ix.termIDs), func(k int) bool { return ix.termIDs[k] >= id })
-	if i == len(ix.termIDs) || ix.termIDs[i] != id {
-		return 0, 0, false
+// blockHeaderLen is the fixed per-block prefix: idLen byte + multiMask.
+const blockHeaderLen = 3
+
+// filterBitsPerTerm sizes the membership filter: ~8 bits per term keeps
+// the false-positive rate near 10% at half a byte of overhead per term.
+const filterBitsPerTerm = 8
+
+// mayContain is the filter probe: false means id is definitely absent.
+func (ix *postingIndex) mayContain(id dict.TermID) bool {
+	h := uint32(id) * 2654435761 >> (32 - ix.fbits)
+	return ix.filter[h>>6]&(1<<(h&63)) != 0
+}
+
+// buildFilter (re)derives the membership filter from the encoded arena —
+// the snapshot-restore path, which persists only the skip arrays and the
+// arena. Sizing and hashing mirror encodePostings exactly, so a restored
+// index is bit-for-bit the one the builder produced.
+func (ix *postingIndex) buildFilter() {
+	if ix.nTerms == 0 {
+		ix.filter, ix.fbits = nil, 0
+		return
 	}
-	return ix.offsets[i], ix.offsets[i+1], true
+	ix.fbits = 6
+	for 1<<ix.fbits < ix.nTerms*filterBitsPerTerm {
+		ix.fbits++
+	}
+	ix.filter = make([]uint64, 1<<ix.fbits/64)
+	ix.forEach(func(id dict.TermID, _ postingsRef) {
+		h := uint32(id) * 2654435761 >> (32 - ix.fbits)
+		ix.filter[h>>6] |= 1 << (h & 63)
+	})
 }
 
-// heapBytes is the index's retained heap (flat arrays only; the term
-// strings live in the shared dictionary).
+// postingsRef is one term's posting list as found in the arena: a count
+// plus either the inline single posting or the undecoded body bytes.
+type postingsRef struct {
+	count  int
+	single int32  // the posting when count == 1
+	body   []byte // vpost body when count > 1 (suffix of the arena)
+}
+
+// cursor returns a streaming decoder over the referenced posting list.
+func (r postingsRef) cursor() vpost.Cursor {
+	if r.count == 1 {
+		var one [vpost.MaxUvarintLen]byte
+		return vpost.NewCursor(vpost.AppendUvarint(one[:0], uint64(uint32(r.single))), 1)
+	}
+	return vpost.NewCursor(r.body, r.count)
+}
+
+// lookup finds id's posting list: binary search for the block that could
+// hold it, then an early-exit scan of the block's id-delta section — no
+// payload byte is touched unless the term is present. NoTerm (and any
+// absent id) misses; the conjunctive match rule turns that into an empty
+// result after this single probe. The varint decodes are inlined: this is
+// the innermost loop of every flood, called once per (reached peer, query
+// term) until the first miss.
+func (ix *postingIndex) lookup(id dict.TermID) (postingsRef, bool) {
+	if ix.filter == nil || !ix.mayContain(id) {
+		return postingsRef{}, false
+	}
+	first := ix.blockFirst
+	if id < first[0] {
+		return postingsRef{}, false
+	}
+	// Branchless-ish manual binary search for the last block with
+	// blockFirst ≤ id (sort.Search costs a closure call per probe).
+	lo, hi := 0, len(first)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if first[mid] <= id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b := lo - 1
+	n := ix.nTerms - b*postingBlockLen
+	if n > postingBlockLen {
+		n = postingBlockLen
+	}
+	buf := ix.arena[ix.blockOff[b]:]
+	idLen := int(buf[0])
+	mask := uint(buf[1]) | uint(buf[2])<<8
+	ids := buf[blockHeaderLen : blockHeaderLen+idLen]
+	cur := first[b]
+	k, i := 0, 0
+	for cur < id {
+		if k+1 >= n {
+			return postingsRef{}, false
+		}
+		// Term-ID gaps are one or two bytes in practice; decode those
+		// without the general continuation loop.
+		c := ids[i]
+		i++
+		d := uint32(c)
+		if c >= 0x80 {
+			c = ids[i]
+			i++
+			d = d&0x7f | uint32(c)<<7
+			if c >= 0x80 {
+				d &= 1<<14 - 1
+				for s := 14; c >= 0x80; s += 7 {
+					c = ids[i]
+					i++
+					d |= uint32(c&0x7f) << s
+				}
+			}
+		}
+		cur += dict.TermID(d)
+		k++
+	}
+	if cur != id {
+		return postingsRef{}, false
+	}
+	// Hit: skip the k preceding payloads to reach ours.
+	p := buf[blockHeaderLen+idLen:]
+	for j := 0; j < k; j++ {
+		skip := 1
+		if mask&(1<<uint(j)) != 0 {
+			cnt, cn := vpost.Uvarint(p)
+			p = p[cn:]
+			skip = int(cnt)
+		}
+		for ; skip > 0; skip-- {
+			o := 0
+			for p[o] >= 0x80 {
+				o++
+			}
+			p = p[o+1:]
+		}
+	}
+	if mask&(1<<uint(k)) == 0 {
+		v, _ := vpost.Uvarint(p)
+		return postingsRef{count: 1, single: int32(v)}, true
+	}
+	cnt, cn := vpost.Uvarint(p)
+	return postingsRef{count: int(cnt), body: p[cn:]}, true
+}
+
+// forEach calls fn for every term in ascending TermID order. The ref's body
+// aliases the arena and must not be retained past the call.
+func (ix *postingIndex) forEach(fn func(id dict.TermID, ref postingsRef)) {
+	for b := range ix.blockFirst {
+		n := ix.nTerms - b*postingBlockLen
+		if n > postingBlockLen {
+			n = postingBlockLen
+		}
+		buf := ix.arena[ix.blockOff[b]:]
+		idLen := int(buf[0])
+		mask := uint(buf[1]) | uint(buf[2])<<8
+		ids := buf[blockHeaderLen : blockHeaderLen+idLen]
+		p := buf[blockHeaderLen+idLen:]
+		cur := ix.blockFirst[b]
+		for k := 0; k < n; k++ {
+			if k > 0 {
+				d, dn := vpost.Uvarint(ids)
+				ids = ids[dn:]
+				cur += dict.TermID(d)
+			}
+			if mask&(1<<uint(k)) == 0 {
+				v, vn := vpost.Uvarint(p)
+				p = p[vn:]
+				fn(cur, postingsRef{count: 1, single: int32(v)})
+				continue
+			}
+			cnt, cn := vpost.Uvarint(p)
+			p = p[cn:]
+			fn(cur, postingsRef{count: int(cnt), body: p})
+			for j := uint64(0); j < cnt; j++ {
+				p = p[vpost.SkipUvarint(p):]
+			}
+		}
+	}
+}
+
+// heapBytes is the index's retained heap (skip arrays + membership filter
+// + arena; the term strings live in the shared dictionary).
 func (ix *postingIndex) heapBytes() uint64 {
-	return uint64(len(ix.termIDs))*4 + uint64(len(ix.offsets))*4 + uint64(len(ix.postings))*4
+	return uint64(len(ix.blockFirst))*4 + uint64(len(ix.blockOff))*4 +
+		uint64(len(ix.filter))*8 + uint64(len(ix.arena))
 }
 
 // termFile is one (term, file) incidence during index construction.
@@ -47,18 +246,34 @@ type termFile struct {
 	file int32
 }
 
-// buildPostings builds a posting index for lib against dictionary d. It
-// reports ok=false on the first token d does not know — the caller then
-// falls back to a peer-local dictionary (a library mutated after network
-// construction can contain terms the shared dictionary never saw).
-func buildPostings(d *dict.Dict, lib []File) (postingIndex, bool) {
-	pairs := make([]termFile, 0, len(lib)*4)
-	var fileIDs []dict.TermID // per-file dedupe scratch
+// buildScratch is per-worker construction state: the uncompressed (term,
+// file) pairs and the encode buffer exist only for the peer being built,
+// then the exact-size compressed arrays are cut from them — constructing a
+// network never holds more than workers × one-peer of uncompressed
+// intermediate at a time.
+type buildScratch struct {
+	pairs   []termFile
+	fileIDs []dict.TermID
+	arena   []byte
+	pay     []byte
+	first   []dict.TermID
+	off     []uint32
+}
+
+// buildPostings builds a compressed posting index for lib against
+// dictionary d, using (and growing) bs's reusable buffers. It reports
+// ok=false on the first token d does not know — the caller then falls back
+// to a peer-local dictionary (a library mutated after network construction
+// can contain terms the shared dictionary never saw).
+func buildPostings(d *dict.Dict, lib []File, bs *buildScratch) (postingIndex, bool) {
+	pairs := bs.pairs[:0]
+	fileIDs := bs.fileIDs
 	for i, f := range lib {
 		fileIDs = fileIDs[:0]
 		for _, tok := range terms.Tokenize(f.Name) {
 			id, known := d.Lookup(tok)
 			if !known {
+				bs.pairs, bs.fileIDs = pairs, fileIDs
 				return postingIndex{}, false
 			}
 			dup := false
@@ -75,6 +290,7 @@ func buildPostings(d *dict.Dict, lib []File) (postingIndex, bool) {
 			pairs = append(pairs, termFile{id: id, file: int32(i)})
 		}
 	}
+	bs.pairs, bs.fileIDs = pairs, fileIDs
 	// Files were visited in ascending order, so sorting by (id, file) keeps
 	// every posting list ascending — the same order the legacy map path
 	// produces by appending file indices as it scans the library.
@@ -84,19 +300,88 @@ func buildPostings(d *dict.Dict, lib []File) (postingIndex, bool) {
 		}
 		return pairs[a].file < pairs[b].file
 	})
+	ix := encodePostings(pairs, bs)
+	return ix, true
+}
+
+// encodePostings compresses sorted (id, file) pairs into a postingIndex,
+// encoding through bs's buffers and returning exact-size copies so no
+// append slack is retained for the life of the network. Blocks are
+// assembled one at a time — the id-delta section in a fixed local buffer,
+// the payload section in the reusable pay scratch — then flushed with
+// their header once full.
+func encodePostings(pairs []termFile, bs *buildScratch) postingIndex {
+	arena, first, off := bs.arena[:0], bs.first[:0], bs.off[:0]
 	var ix postingIndex
-	ix.postings = make([]int32, len(pairs))
-	ix.offsets = append(ix.offsets, 0)
+	ix.nPostings = len(pairs)
+	distinct := 0
+	for k := 0; k < len(pairs); k++ {
+		if k == 0 || pairs[k].id != pairs[k-1].id {
+			distinct++
+		}
+	}
+	if distinct > 0 {
+		ix.fbits = 6
+		for 1<<ix.fbits < distinct*filterBitsPerTerm {
+			ix.fbits++
+		}
+		ix.filter = make([]uint64, 1<<ix.fbits/64)
+	}
+
+	var idBuf [postingBlockLen * 5]byte // ≤ 15 deltas × max 5-byte uvarint
+	idLen := 0
+	pay := bs.pay[:0]
+	var mask uint
+	prevID := dict.TermID(0)
+	flush := func() {
+		arena = append(arena, byte(idLen), byte(mask), byte(mask>>8))
+		arena = append(arena, idBuf[:idLen]...)
+		arena = append(arena, pay...)
+		idLen, pay, mask = 0, pay[:0], 0
+	}
 	for k := 0; k < len(pairs); {
 		id := pairs[k].id
-		ix.termIDs = append(ix.termIDs, id)
-		for k < len(pairs) && pairs[k].id == id {
-			ix.postings[k] = pairs[k].file
-			k++
+		j := k + 1
+		for j < len(pairs) && pairs[j].id == id {
+			j++
 		}
-		ix.offsets = append(ix.offsets, uint32(k))
+		e := ix.nTerms % postingBlockLen
+		if e == 0 {
+			if ix.nTerms > 0 {
+				flush()
+			}
+			first = append(first, id)
+			off = append(off, uint32(len(arena)))
+		} else {
+			idLen = len(vpost.AppendUvarint(idBuf[:idLen], uint64(id-prevID)))
+		}
+		h := uint32(id) * 2654435761 >> (32 - ix.fbits)
+		ix.filter[h>>6] |= 1 << (h & 63)
+		if j-k == 1 {
+			pay = vpost.AppendUvarint(pay, uint64(uint32(pairs[k].file)))
+		} else {
+			mask |= 1 << uint(e)
+			pay = vpost.AppendUvarint(pay, uint64(j-k))
+			prev := int32(-1)
+			for i := k; i < j; i++ {
+				pay = vpost.AppendUvarint(pay, uint64(uint32(pairs[i].file-prev-1)))
+				prev = pairs[i].file
+			}
+		}
+		prevID = id
+		ix.nTerms++
+		k = j
 	}
-	return ix, true
+	if ix.nTerms > 0 {
+		flush()
+	}
+	bs.arena, bs.pay, bs.first, bs.off = arena, pay, first, off
+	if len(arena) > 0 {
+		ix.arena = append(make([]byte, 0, len(arena)), arena...)
+		ix.blockFirst = append(make([]dict.TermID, 0, len(first)), first...)
+		ix.blockOff = append(make([]uint32, 0, len(off)), off...)
+	}
+	return ix
 }
 
 // libraryNames projects a library onto its file names.
@@ -111,6 +396,13 @@ func libraryNames(lib []File) []string {
 // buildIndex builds the peer's term → file index (interned or legacy).
 // Always reached through indexOnce.
 func (p *Peer) buildIndex() {
+	var bs buildScratch
+	p.buildIndexWith(&bs)
+}
+
+// buildIndexWith is buildIndex with the construction scratch hoisted out,
+// so BuildIndexes reuses one scratch per worker across thousands of peers.
+func (p *Peer) buildIndexWith(bs *buildScratch) {
 	if p.legacy {
 		p.buildLegacyIndex()
 		return
@@ -120,27 +412,97 @@ func (p *Peer) buildIndex() {
 		// intern against a dictionary of its own library.
 		p.dict = dict.FromNames(libraryNames(p.Library), 1)
 	}
-	idx, ok := buildPostings(p.dict, p.Library)
+	idx, ok := buildPostings(p.dict, p.Library, bs)
 	if !ok {
 		// The library gained names after construction; re-intern locally.
 		p.dict = dict.FromNames(libraryNames(p.Library), 1)
-		idx, _ = buildPostings(p.dict, p.Library)
+		idx, _ = buildPostings(p.dict, p.Library, bs)
 	}
 	p.idx = idx
 }
 
 // BuildIndexes eagerly builds every peer's index over up to `workers`
-// goroutines (≤ 0 resolves to GOMAXPROCS). Indexes are otherwise built
-// lazily on first Match; building them up front makes construction cost
-// measurable and keeps the first flood off the slow path. The result is
-// identical for every worker count: each peer's index depends only on its
-// own library and the shared dictionary.
+// goroutines (≤ 0 resolves to GOMAXPROCS), then folds the per-term global
+// document frequencies floods use to probe rarest-first. Indexes are
+// otherwise built lazily on first Match; building them up front makes
+// construction cost measurable and keeps the first flood off the slow
+// path. The result is identical for every worker count: each peer's index
+// depends only on its own library and the shared dictionary, and the DF
+// merge is an order-free integer sum.
 func (nw *Network) BuildIndexes(workers int) error {
-	return parallel.ForEach(workers, len(nw.Peers), func(i int) error {
-		p := nw.Peers[i]
-		p.indexOnce.Do(p.buildIndex)
-		return nil
+	err := parallel.ForEachWith(workers, len(nw.Peers), func() *buildScratch { return new(buildScratch) },
+		func(bs *buildScratch, i int) error {
+			p := nw.Peers[i]
+			p.indexOnce.Do(func() { p.buildIndexWith(bs) })
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	nw.buildTermDF(workers)
+	if nw.dict != nil {
+		// Every peer's index is built; queries from here on resolve a
+		// handful of tokens per flood, so trade the construction-phase
+		// lookup map for binary search over the term arena.
+		nw.dict.Compact()
+	}
+	return nil
+}
+
+// buildTermDF folds every peer's index into termDF: for each shared-dict
+// term, the total number of postings network-wide. Floods sort a query's
+// resolved IDs by this frequency so the first per-peer probe is the term
+// likeliest to miss (most peers hold no posting for a globally rare term,
+// and one miss ends the conjunctive match). Sharded over workers with
+// per-worker counters merged by sum, so the result is worker-invariant.
+func (nw *Network) buildTermDF(workers int) {
+	if nw.dict == nil || nw.termDF != nil {
+		return
+	}
+	n := nw.dict.Len()
+	shards, _ := parallel.Map(workers, parallel.Workers(workers), func(w int) ([]int32, error) {
+		ws := parallel.Workers(workers)
+		counts := make([]int32, n)
+		for i := w; i < len(nw.Peers); i += ws {
+			p := nw.Peers[i]
+			if p.legacy || p.dict != nw.dict {
+				continue
+			}
+			p.idx.forEach(func(id dict.TermID, ref postingsRef) {
+				counts[id] += int32(ref.count)
+			})
+		}
+		return counts, nil
 	})
+	df := make([]int32, n)
+	for _, counts := range shards {
+		for i, c := range counts {
+			df[i] += c
+		}
+	}
+	nw.termDF = df
+}
+
+// sortByGlobalDF orders ids rarest-first by network-wide document
+// frequency (ties by id; NoTerm sorts first — it misses everywhere).
+// Purely an ordering change: conjunctive intersection is commutative and
+// match output stays ascending by file index.
+func (nw *Network) sortByGlobalDF(ids []dict.TermID) {
+	df := nw.termDF
+	if df == nil || len(ids) < 2 {
+		return
+	}
+	key := func(id dict.TermID) int64 {
+		if int(id) >= len(df) {
+			return -1 // NoTerm (or a foreign id): misses on the first probe
+		}
+		return int64(df[id])<<32 | int64(id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && key(ids[j]) < key(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }
 
 // UseLegacyStringIndex switches the whole network to the pre-interning
@@ -150,6 +512,7 @@ func (nw *Network) BuildIndexes(workers int) error {
 // EnableQRP, BuildIndexes); indexes already built stay as they are.
 func (nw *Network) UseLegacyStringIndex() {
 	nw.dict = nil
+	nw.termDF = nil
 	for _, p := range nw.Peers {
 		p.dict = nil
 		p.legacy = true
@@ -225,47 +588,59 @@ func (p *Peer) matchForFlood(d *dict.Dict, qids []dict.TermID, toks []string, s 
 	return p.matchIDs(ids, s)
 }
 
-// termSel is one query term's posting window during a match.
-type termSel struct {
-	lo, n uint32
-}
-
-// matchScratch is per-flood match state, reused across every reached peer.
+// matchScratch is per-flood match state, reused across every reached peer:
+// resolved fallback IDs, the per-term refs being sorted, the decode buffer
+// the rarest posting list lands in, and legacy-path token copies.
 type matchScratch struct {
-	ids []dict.TermID
-	sel []termSel
-	str []string
+	ids  []dict.TermID
+	sel  []postingsRef
+	post []int32
+	str  []string
 }
 
 // matchIDs intersects the posting lists of ids, rarest term first so the
 // candidate set never grows. Any id missing from the index (including
-// NoTerm) matches nothing — the conjunctive rule.
+// NoTerm) matches nothing — the conjunctive rule. Only the rarest list is
+// decoded (into the reusable scratch); the rest stream through cursors.
 func (p *Peer) matchIDs(ids []dict.TermID, s *matchScratch) []File {
 	if len(ids) == 0 {
 		return nil
 	}
 	s.sel = s.sel[:0]
 	for _, id := range ids {
-		lo, hi, ok := p.idx.lookup(id)
+		ref, ok := p.idx.lookup(id)
 		if !ok {
 			return nil
 		}
-		s.sel = append(s.sel, termSel{lo: lo, n: hi - lo})
+		s.sel = append(s.sel, ref)
 	}
 	sel := s.sel
 	// Insertion sort by posting-list length: queries have a handful of
 	// terms, and this replaces the legacy sort.Slice on strings.
 	for i := 1; i < len(sel); i++ {
-		for j := i; j > 0 && sel[j].n < sel[j-1].n; j-- {
+		for j := i; j > 0 && sel[j].count < sel[j-1].count; j-- {
 			sel[j], sel[j-1] = sel[j-1], sel[j]
 		}
 	}
-	cur := p.idx.postings[sel[0].lo : sel[0].lo+sel[0].n]
+	cur := s.post[:0]
+	if sel[0].count == 1 {
+		cur = append(cur, sel[0].single)
+	} else {
+		c := vpost.NewCursor(sel[0].body, sel[0].count)
+		for {
+			v, ok := c.Next()
+			if !ok {
+				break
+			}
+			cur = append(cur, v)
+		}
+	}
+	s.post = cur[:0] // retain the (possibly grown) buffer for the next peer
 	for _, w := range sel[1:] {
 		if len(cur) == 0 {
 			return nil
 		}
-		cur = intersectPostings(cur, p.idx.postings[w.lo:w.lo+w.n])
+		cur = intersectRef(cur, w)
 	}
 	if len(cur) == 0 {
 		return nil
@@ -277,8 +652,44 @@ func (p *Peer) matchIDs(ids []dict.TermID, s *matchScratch) []File {
 	return out
 }
 
+// intersectRef intersects the ascending candidate list cur with w's
+// postings in place: survivors are written back into cur's prefix (the
+// write index never passes the read index, and the arena is never
+// mutated).
+func intersectRef(cur []int32, w postingsRef) []int32 {
+	if w.count == 1 {
+		for _, v := range cur {
+			if v == w.single {
+				cur[0] = v
+				return cur[:1]
+			}
+			if v > w.single {
+				break
+			}
+		}
+		return cur[:0]
+	}
+	c := vpost.NewCursor(w.body, w.count)
+	out := cur[:0]
+	v, ok := c.Next()
+	for i := 0; i < len(cur) && ok; {
+		switch {
+		case cur[i] < v:
+			i++
+		case cur[i] > v:
+			v, ok = c.Next()
+		default:
+			out = append(out, cur[i])
+			i++
+			v, ok = c.Next()
+		}
+	}
+	return out
+}
+
 // intersectPostings intersects two ascending posting lists into a fresh
-// slice (the index arenas are never mutated).
+// slice (the legacy map path's helper; the compressed path streams through
+// intersectRef instead).
 func intersectPostings(a, b []int32) []int32 {
 	n := len(a)
 	if len(b) < n {
@@ -358,6 +769,7 @@ type IndexStats struct {
 	IndexTerms int    // total distinct (peer, term) pairs
 	Postings   int    // total posting entries across all peers
 	HeapBytes  uint64 // estimated retained bytes: peer indexes + shared dictionary
+	ArenaBytes uint64 // compressed posting-arena bytes (skip arrays + varint arenas)
 }
 
 // IndexStats builds all indexes (sequentially if not already built) and
@@ -372,6 +784,7 @@ func (nw *Network) IndexStats() (IndexStats, error) {
 	if nw.dict != nil {
 		st.DictTerms = nw.dict.Len()
 		st.HeapBytes += nw.dict.HeapBytes()
+		st.HeapBytes += uint64(len(nw.termDF)) * 4
 	}
 	for _, p := range nw.Peers {
 		if p.legacy {
@@ -383,16 +796,19 @@ func (nw *Network) IndexStats() (IndexStats, error) {
 			}
 			continue
 		}
-		st.IndexTerms += len(p.idx.termIDs)
-		st.Postings += len(p.idx.postings)
+		st.IndexTerms += p.idx.nTerms
+		st.Postings += p.idx.nPostings
 		st.HeapBytes += p.idx.heapBytes()
+		st.ArenaBytes += p.idx.heapBytes()
 	}
 	return st, nil
 }
 
 // IndexChecksum builds all indexes and folds the dictionary plus every
-// peer's flat index into one FNV-1a fingerprint — the worker-count
-// determinism gate for parallel construction.
+// peer's decoded index — term IDs, counts, posting values, independent of
+// the arena representation — into one FNV-1a fingerprint: the worker-count
+// determinism gate for parallel construction and the snapshot round-trip
+// gate for persistence.
 func (nw *Network) IndexChecksum() (uint64, error) {
 	if err := nw.BuildIndexes(0); err != nil {
 		return 0, err
@@ -408,16 +824,19 @@ func (nw *Network) IndexChecksum() (uint64, error) {
 		put(uint64(nw.dict.Len()))
 	}
 	for _, p := range nw.Peers {
-		put(uint64(len(p.idx.termIDs)))
-		for _, id := range p.idx.termIDs {
+		put(uint64(p.idx.nTerms))
+		p.idx.forEach(func(id dict.TermID, ref postingsRef) {
 			put(uint64(id))
-		}
-		for _, off := range p.idx.offsets {
-			put(uint64(off))
-		}
-		for _, post := range p.idx.postings {
-			put(uint64(uint32(post)))
-		}
+			put(uint64(ref.count))
+			c := ref.cursor()
+			for {
+				v, ok := c.Next()
+				if !ok {
+					break
+				}
+				put(uint64(uint32(v)))
+			}
+		})
 	}
 	return h.Sum64(), nil
 }

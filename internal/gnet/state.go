@@ -1,0 +1,145 @@
+package gnet
+
+import (
+	"fmt"
+
+	"querycentric/internal/dict"
+	"querycentric/internal/gmsg"
+)
+
+// IndexState is the persistable form of one peer's compressed posting
+// index: the raw skip arrays and varint arena, exactly as held in memory.
+// The membership filter and the network-wide term frequencies are derived
+// data and are rebuilt on restore.
+type IndexState struct {
+	NTerms     int
+	NPostings  int
+	BlockFirst []dict.TermID
+	BlockOff   []uint32
+	Arena      []byte
+}
+
+// PeerState is the persistable state of one peer. Addr and ID are derived
+// from the peer's position and are not carried.
+type PeerState struct {
+	Ultrapeer bool
+	ServentID gmsg.GUID
+	Neighbors []int
+	Library   []File
+	Index     IndexState
+}
+
+// NetworkState is the deterministic substrate a snapshot persists: the
+// topology configuration, every peer's identity/links/library/index, the
+// firewalled mask and the shared interned dictionary (as its raw term
+// arena; QRP hash products are recomputed on restore). Fault planes, QRP
+// tables and observability attachments are runtime state and are not part
+// of a snapshot.
+type NetworkState struct {
+	Config     Config
+	Firewalled []bool
+	Peers      []PeerState
+	DictBytes  []byte   // concatenated term bytes, ID order
+	DictOff    []uint32 // TermID → DictBytes offset; len = terms+1
+}
+
+// ExportState builds every index (if not already built) and returns the
+// network's persistable state. The returned state shares slices with the
+// live network — treat it as an immutable view and do not mutate the
+// network while it is in use. Only catalog-built networks on the interned
+// path can be exported: legacy string-index networks and peers that fell
+// back to a local dictionary (library mutated after construction) have no
+// shared-dictionary representation to persist.
+func (nw *Network) ExportState() (*NetworkState, error) {
+	if nw.dict == nil {
+		return nil, fmt.Errorf("gnet: ExportState: network has no shared dictionary (legacy or hand-assembled)")
+	}
+	if err := nw.BuildIndexes(0); err != nil {
+		return nil, err
+	}
+	st := &NetworkState{
+		Config:     nw.Config,
+		Firewalled: nw.firewalled,
+		Peers:      make([]PeerState, len(nw.Peers)),
+	}
+	st.DictBytes, st.DictOff = nw.dict.Raw()
+	for i, p := range nw.Peers {
+		if p.legacy || p.dict != nw.dict {
+			return nil, fmt.Errorf("gnet: ExportState: peer %d does not use the shared dictionary", i)
+		}
+		st.Peers[i] = PeerState{
+			Ultrapeer: p.Ultrapeer,
+			ServentID: p.ServentID,
+			Neighbors: p.Neighbors,
+			Library:   p.Library,
+			Index: IndexState{
+				NTerms:     p.idx.nTerms,
+				NPostings:  p.idx.nPostings,
+				BlockFirst: p.idx.blockFirst,
+				BlockOff:   p.idx.blockOff,
+				Arena:      p.idx.arena,
+			},
+		}
+	}
+	return st, nil
+}
+
+// NewFromState reconstructs a network from a persisted state: peers get
+// their identities, links, libraries and ready-built posting indexes back;
+// membership filters, QRP hash products and the global term-frequency
+// table are rebuilt (over up to `workers` goroutines) since they are pure
+// functions of the persisted data. The state's slices are adopted, not
+// copied — do not reuse st after a successful call.
+//
+// A restored network floods, crawls and serves byte-identically to the
+// freshly built network it was exported from.
+func NewFromState(st *NetworkState, workers int) (*Network, error) {
+	n := len(st.Peers)
+	if n <= 1 {
+		return nil, fmt.Errorf("gnet: NewFromState: need at least 2 peers, got %d", n)
+	}
+	if len(st.Firewalled) != n {
+		return nil, fmt.Errorf("gnet: NewFromState: firewalled mask has %d entries for %d peers", len(st.Firewalled), n)
+	}
+	d, err := dict.FromRaw(st.DictBytes, st.DictOff, workers)
+	if err != nil {
+		return nil, fmt.Errorf("gnet: NewFromState: %w", err)
+	}
+	nw := &Network{
+		Config:     st.Config,
+		Peers:      make([]*Peer, n),
+		firewalled: st.Firewalled,
+		dict:       d,
+	}
+	for i := range st.Peers {
+		ps := &st.Peers[i]
+		nBlocks := (ps.Index.NTerms + postingBlockLen - 1) / postingBlockLen
+		if len(ps.Index.BlockFirst) != nBlocks || len(ps.Index.BlockOff) != nBlocks {
+			return nil, fmt.Errorf("gnet: NewFromState: peer %d index has %d/%d blocks for %d terms",
+				i, len(ps.Index.BlockFirst), len(ps.Index.BlockOff), ps.Index.NTerms)
+		}
+		p := &Peer{
+			ID:        i,
+			Addr:      addrFor(i),
+			Ultrapeer: ps.Ultrapeer,
+			ServentID: ps.ServentID,
+			Neighbors: ps.Neighbors,
+			Library:   ps.Library,
+			dict:      d,
+			idx: postingIndex{
+				nTerms:     ps.Index.NTerms,
+				nPostings:  ps.Index.NPostings,
+				blockFirst: ps.Index.BlockFirst,
+				blockOff:   ps.Index.BlockOff,
+				arena:      ps.Index.Arena,
+			},
+		}
+		p.idx.buildFilter()
+		// The restored index is live: Match and floods must use it as-is,
+		// never rebuild. Burn the once so the lazy path stays cold.
+		p.indexOnce.Do(func() {})
+		nw.Peers[i] = p
+	}
+	nw.buildTermDF(workers)
+	return nw, nil
+}

@@ -77,6 +77,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return err
 }
 
+// ForEachWith is ForEach with per-worker scratch (see MapWith): index
+// construction and snapshot encoding reuse one buffer set per worker
+// across thousands of units instead of allocating per unit.
+func ForEachWith[S any](workers, n int, newScratch func() S, fn func(scratch S, i int) error) error {
+	_, err := MapWith(workers, n, newScratch, func(s S, i int) (struct{}, error) {
+		return struct{}{}, fn(s, i)
+	})
+	return err
+}
+
 // MapWith is Map with per-worker scratch: newScratch runs once per worker
 // goroutine (not per index) and its value is threaded into every fn call
 // that worker executes. Use it for reusable state that is expensive to

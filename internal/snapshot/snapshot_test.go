@@ -1,0 +1,230 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/faults"
+	"querycentric/internal/gnet"
+	"querycentric/internal/rng"
+)
+
+// buildNet constructs a small catalog-backed network, the snapshot
+// package's only supported substrate.
+func buildNet(t *testing.T, peers int) *gnet.Network {
+	t.Helper()
+	cat, err := catalog.Build(catalog.Config{
+		Seed: 11, Peers: peers, UniqueObjects: peers * 20, ReplicaAlpha: 2.45,
+		VariantProb: 0.05, NonSpecificPeerFrac: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gnet.DefaultConfig(11)
+	cfg.FirewalledFrac = 0.1
+	nw, err := gnet.NewFromCatalog(cfg, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// saveTo round-trips nw through a snapshot file and returns the loaded
+// twin plus the file path.
+func saveTo(t *testing.T, nw *gnet.Network) (*gnet.Network, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.qcsnap")
+	n, err := Save(path, nw, 0)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != n {
+		t.Fatalf("Save reported %d bytes, file has %d", n, fi.Size())
+	}
+	back, err := Load(path, 0)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return back, path
+}
+
+// TestRoundTripIndexChecksum pins the strongest cheap invariant: the
+// decoded-index fingerprint (dictionary + every peer's term IDs, counts
+// and posting values) survives the save/load cycle bit-for-bit.
+func TestRoundTripIndexChecksum(t *testing.T) {
+	nw := buildNet(t, 150)
+	want, err := nw.IndexChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := saveTo(t, nw)
+	got, err := back.IndexChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("index checksum diverged: %#x vs %#x", got, want)
+	}
+	if back.TermDict().Checksum() != nw.TermDict().Checksum() {
+		t.Fatal("dictionary checksum diverged")
+	}
+	ws, err := nw.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := back.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HeapBytes differs only by the construction map the fresh network
+	// already dropped via Compact; everything structural must match.
+	ws.HeapBytes, gs.HeapBytes = 0, 0
+	if ws != gs {
+		t.Fatalf("index stats diverged:\n%+v\nvs\n%+v", gs, ws)
+	}
+}
+
+// TestRoundTripFloodsIdentical floods the restored network and the
+// original across plain, QRP and lossy configurations; every result must
+// be byte-identical — the restored substrate is the built substrate.
+func TestRoundTripFloodsIdentical(t *testing.T) {
+	for _, mode := range []string{"plain", "qrp", "lossy"} {
+		t.Run(mode, func(t *testing.T) {
+			a := buildNet(t, 150)
+			b, _ := saveTo(t, a)
+			switch mode {
+			case "qrp":
+				for _, nw := range []*gnet.Network{a, b} {
+					if err := nw.EnableQRP(16); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case "lossy":
+				a.SetFaults(faults.New(faults.Config{Seed: 3, MessageLoss: 0.25}))
+				b.SetFaults(faults.New(faults.Config{Seed: 3, MessageLoss: 0.25}))
+			}
+			ctxA, ctxB := a.NewFloodCtx(), b.NewFloodCtx()
+			for trial := 0; trial < 25; trial++ {
+				origin := trial * 7 % len(a.Peers)
+				var criteria string
+				for _, p := range a.Peers {
+					if len(p.Library) > trial%5 {
+						criteria = p.Library[trial%5].Name
+						break
+					}
+				}
+				ra, err := ctxA.Flood(origin, criteria, 4, rng.New(uint64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := ctxB.Flood(origin, criteria, 4, rng.New(uint64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ra, rb) {
+					t.Fatalf("%s trial %d diverged:\n%+v\nvs\n%+v", mode, trial, ra, rb)
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripTopologyIdentical compares identity, links, libraries and
+// the firewalled mask peer by peer.
+func TestRoundTripTopologyIdentical(t *testing.T) {
+	nw := buildNet(t, 120)
+	back, _ := saveTo(t, nw)
+	if back.Config != nw.Config {
+		t.Fatalf("config diverged: %+v vs %+v", back.Config, nw.Config)
+	}
+	if len(back.Peers) != len(nw.Peers) {
+		t.Fatalf("peer count %d vs %d", len(back.Peers), len(nw.Peers))
+	}
+	for i, p := range nw.Peers {
+		q := back.Peers[i]
+		if q.ID != p.ID || q.Addr != p.Addr || q.Ultrapeer != p.Ultrapeer || q.ServentID != p.ServentID {
+			t.Fatalf("peer %d identity diverged", i)
+		}
+		if !reflect.DeepEqual(q.Neighbors, p.Neighbors) {
+			t.Fatalf("peer %d neighbors diverged", i)
+		}
+		if !reflect.DeepEqual(q.Library, p.Library) {
+			t.Fatalf("peer %d library diverged", i)
+		}
+		if back.Firewalled(i) != nw.Firewalled(i) {
+			t.Fatalf("peer %d firewalled bit diverged", i)
+		}
+	}
+}
+
+// TestCorruptionFailsLoudly exercises every typed failure mode: foreign
+// bytes, a future version, truncation, structural damage and content
+// damage must all refuse to produce a network, each with its sentinel.
+func TestCorruptionFailsLoudly(t *testing.T) {
+	nw := buildNet(t, 80)
+	_, path := saveTo(t, nw)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(t *testing.T, f func(b []byte) []byte, want error) {
+		t.Helper()
+		b := f(append([]byte(nil), pristine...))
+		mut := filepath.Join(t.TempDir(), "mut.qcsnap")
+		if err := os.WriteFile(mut, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(mut, 0)
+		if err == nil {
+			t.Fatal("Load accepted a damaged snapshot")
+		}
+		if want != nil && !errors.Is(err, want) {
+			t.Fatalf("got %v, want %v", err, want)
+		}
+		t.Logf("rejected with: %v", err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		mutate(t, func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrFormat)
+	})
+	t.Run("future version", func(t *testing.T) {
+		mutate(t, func(b []byte) []byte { b[6] = Version + 1; return b }, ErrVersion)
+	})
+	t.Run("truncated", func(t *testing.T) {
+		mutate(t, func(b []byte) []byte { return b[:len(b)/2] }, ErrTruncated)
+	})
+	t.Run("missing trailer", func(t *testing.T) {
+		mutate(t, func(b []byte) []byte { return b[:len(b)-10] }, ErrTruncated)
+	})
+	t.Run("flipped content byte", func(t *testing.T) {
+		// Deep inside the payload: parses fine structurally (raw arena
+		// bytes), so only the fingerprint can catch it — and must.
+		mutate(t, func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b }, nil)
+	})
+	t.Run("flipped trailer byte", func(t *testing.T) {
+		mutate(t, func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrFingerprint)
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		mutate(t, func(b []byte) []byte { return append(b, 0) }, ErrCorrupt)
+	})
+}
+
+// TestSaveRejectsLegacyNetworks: the legacy string index has no shared
+// dictionary to persist; Save must refuse rather than write a partial
+// snapshot.
+func TestSaveRejectsLegacyNetworks(t *testing.T) {
+	nw := buildNet(t, 80)
+	nw.UseLegacyStringIndex()
+	if _, err := Save(filepath.Join(t.TempDir(), "x.qcsnap"), nw, 0); err == nil {
+		t.Fatal("Save accepted a legacy-index network")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"querycentric/internal/faults"
 	"querycentric/internal/gnet"
 	"querycentric/internal/querygen"
+	"querycentric/internal/snapshot"
 	"querycentric/internal/trace"
 )
 
@@ -29,6 +30,30 @@ type (
 var (
 	DefaultNetworkConfig  = gnet.DefaultConfig
 	NewNetworkFromCatalog = gnet.NewFromCatalog
+)
+
+// Network snapshot persistence (see internal/snapshot): a fully built
+// network — topology, libraries, interned dictionary, compressed posting
+// indexes — round-trips through a versioned, SHA-256-fingerprinted flat
+// file. Loading is an order of magnitude faster than rebuilding, and a
+// restored network behaves byte-identically to the one saved.
+var (
+	SaveNetworkSnapshot = snapshot.Save
+	LoadNetworkSnapshot = snapshot.Load
+)
+
+// SnapshotVersion is the snapshot format revision this build reads and
+// writes.
+const SnapshotVersion = snapshot.Version
+
+// Snapshot failure sentinels (match with errors.Is): every way a snapshot
+// file can be unusable is a distinct, loud error.
+var (
+	ErrSnapshotFormat      = snapshot.ErrFormat
+	ErrSnapshotVersion     = snapshot.ErrVersion
+	ErrSnapshotTruncated   = snapshot.ErrTruncated
+	ErrSnapshotCorrupt     = snapshot.ErrCorrupt
+	ErrSnapshotFingerprint = snapshot.ErrFingerprint
 )
 
 // Content catalog: the calibrated synthetic population a network is built
@@ -125,28 +150,49 @@ type GnutellaCrawlConfig struct {
 	// FloodTraces, when non-nil alongside Obs, records a bounded
 	// deterministic sample of per-flood hop traces.
 	FloodTraces *FloodTraces
+	// SnapshotLoad, when non-empty, restores the network from this
+	// snapshot file instead of building catalog + network (Peers,
+	// UniqueObjects and FirewalledFrac are then ignored — the snapshot
+	// carries the population). SnapshotSave, when non-empty, persists the
+	// built (or restored) network to this path before the crawl runs.
+	SnapshotLoad string
+	SnapshotSave string
 }
 
 // GnutellaCrawl builds a calibrated content population, stands up the
 // in-process Gnutella network, runs the Cruiser-like crawler against it
 // over the real wire format, and returns the observed object trace.
 func GnutellaCrawl(cfg GnutellaCrawlConfig) (*ObjectTrace, *CrawlStats, error) {
-	cat, err := catalog.Build(catalog.Config{
-		Seed:                cfg.Seed,
-		Peers:               cfg.Peers,
-		UniqueObjects:       cfg.UniqueObjects,
-		ReplicaAlpha:        2.45,
-		VariantProb:         0.08,
-		NonSpecificPeerFrac: 0.05,
-	})
-	if err != nil {
-		return nil, nil, err
+	var nw *gnet.Network
+	if cfg.SnapshotLoad != "" {
+		var err error
+		nw, err = snapshot.Load(cfg.SnapshotLoad, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		cat, err := catalog.Build(catalog.Config{
+			Seed:                cfg.Seed,
+			Peers:               cfg.Peers,
+			UniqueObjects:       cfg.UniqueObjects,
+			ReplicaAlpha:        2.45,
+			VariantProb:         0.08,
+			NonSpecificPeerFrac: 0.05,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		gcfg := gnet.DefaultConfig(cfg.Seed)
+		gcfg.FirewalledFrac = cfg.FirewalledFrac
+		nw, err = gnet.NewFromCatalog(gcfg, cat)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	gcfg := gnet.DefaultConfig(cfg.Seed)
-	gcfg.FirewalledFrac = cfg.FirewalledFrac
-	nw, err := gnet.NewFromCatalog(gcfg, cat)
-	if err != nil {
-		return nil, nil, err
+	if cfg.SnapshotSave != "" {
+		if _, err := snapshot.Save(cfg.SnapshotSave, nw, 0); err != nil {
+			return nil, nil, err
+		}
 	}
 	if cfg.Obs != nil {
 		nw.Instrument(cfg.Obs, cfg.FloodTraces)
