@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke scalefull-smoke api-freeze obs-overhead-smoke ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke saturation-smoke scalefull-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -27,18 +27,23 @@ race:
 # fingerprints are identical at any worker count. The snapshot tests extend
 # the gate to persistence: a restored network must reproduce the fresh
 # build's figures byte for byte, and a damaged snapshot must fail loudly.
+# The capacity tests extend it to the overload plane: a flash-crowd
+# scenario with shedding and breakers enabled is byte-identical at 1 vs 8
+# workers, and a disabled capacity plane is byte-identical to no plane.
 determinism:
 	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance|TestRecoveryWindowWorkerInvariance|TestSnapshotRoundTripMatchesFreshBuild|TestSnapshotLoadFailsLoudlyInEnv' ./internal/experiments/
-	$(GO) test -race -run 'TestScenarioDeterministicAndWorkerInvariant' ./internal/events/
+	$(GO) test -race -run 'TestScenarioDeterministicAndWorkerInvariant|TestCapacityScenarioWorkerInvariant|TestCapacityDisabledIsInert' ./internal/events/
 
-# Short fuzz of the wire-message decoder, the churn-timeline generator and
-# the varint posting codec: five seconds of mutation each must surface no
-# panics, over-reads or contract violations (ordering, alternation,
-# determinism, round-trip identity).
+# Short fuzz of the wire-message decoder, the churn-timeline generator,
+# the varint posting codec and the snapshot loader: five seconds of
+# mutation each must surface no panics, over-reads or contract violations
+# (ordering, alternation, determinism, round-trip identity, typed errors
+# on damaged bytes).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=5s -run '^$$' ./internal/gmsg
 	$(GO) test -fuzz=FuzzTimelineConfig -fuzztime=5s -run '^$$' ./internal/churn
 	$(GO) test -fuzz=FuzzVarintPostings -fuzztime=5s -run '^$$' ./internal/vpost
+	$(GO) test -fuzz=FuzzSnapshotLoad -fuzztime=5s -run '^$$' ./internal/snapshot
 
 # Flood hot-path, parallel-engine and term-index measurements ->
 # out/BENCH_flood.json (the index section compares interned vs legacy
@@ -69,6 +74,22 @@ recovery-smoke:
 			if (rep + 0 < norep + 0) { printf "recovery-smoke: FAIL repaired %s < no-repair %s\n", rep, norep; exit 1 }; \
 			printf "recovery-smoke: ok (repaired %s >= no-repair %s)\n", rep, norep }'
 
+# Saturation smoke: the tiny-scale flash-crowd sweep through the CLI must
+# show TTL-aware shedding retaining at least 2x drop-tail's success at the
+# highest swept load (loads ascend, so each arm's last table row is its
+# peak). The companion inertness half of the contract — disabled-capacity
+# runs byte-identical to a build without the plane — is the race-checked
+# test alongside it (also part of `make determinism`).
+saturation-smoke:
+	@$(GO) run ./cmd/qc-sim -mode saturation -scale tiny | awk ' \
+		$$1 == "ttl" { t = $$3 } \
+		$$1 == "drop-tail" { d = $$3 } \
+		END { \
+			if (t == "" || d == "") { print "saturation-smoke: ttl or drop-tail rows missing"; exit 1 }; \
+			if (t + 0 < 2 * d) { printf "saturation-smoke: FAIL ttl peak success %s < 2x drop-tail %s\n", t, d; exit 1 }; \
+			printf "saturation-smoke: ok (ttl peak success %s >= 2x drop-tail %s)\n", t, d }'
+	$(GO) test -run 'TestCapacityDisabledIsInert' ./internal/events/
+
 # Paper-scale construction smoke: build the ScaleFull catalog + network +
 # interned indexes (no trials, no legacy twin) under a wall-clock budget so
 # regressions that push 37k-peer / 8.1M-object construction out of a CI-able
@@ -94,12 +115,21 @@ obs-overhead-smoke:
 	$(GO) run ./cmd/qc-bench -obs-overhead -peers 500 -benchtime 100ms \
 		-o out/BENCH_flood.json
 
+# Capacity-overhead smoke: floods with the capacity plane attached but
+# disabled must stay within 5% of the no-plane baseline (or the recorded
+# flood_ctx row, whichever is looser) — the inert-by-default contract as a
+# perf gate. The enabled-unbounded cost is reported but not budgeted.
+capacity-overhead-smoke:
+	$(GO) run ./cmd/qc-bench -capacity-overhead -peers 500 -benchtime 100ms \
+		-o out/BENCH_flood.json
+
 # The CI gate: static checks, formatting, a clean build, the full suite
 # under the race detector, the workers=8 determinism regression, the
-# decoder and churn-timeline fuzz smokes, the fault-burst recovery smoke,
-# the API freeze, the metrics-overhead smoke and the paper-scale
-# construction smoke.
-ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke api-freeze obs-overhead-smoke scalefull-smoke
+# decoder, churn-timeline, posting-codec and snapshot-loader fuzz smokes,
+# the fault-burst recovery smoke, the flash-crowd saturation smoke, the
+# API freeze, the metrics- and capacity-overhead smokes and the
+# paper-scale construction smoke.
+ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke saturation-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke scalefull-smoke
 
 check: ci
 

@@ -30,6 +30,11 @@
 // instrumented flood is more than 10% slower than both the detached
 // same-run baseline and the flood_ctx row recorded in -o (when present).
 //
+// With -capacity-overhead the command runs the analogous smoke for the
+// capacity plane: floods with no plane versus an attached-but-idle plane
+// (unbounded policy, nothing shed), failing (exit 1) if the idle plane
+// costs more than 5% against the same baselines.
+//
 // With -events the command instead measures the discrete-event engine
 // (internal/events): pure queue-dispatch micro-benchmarks plus a full
 // steady-state scenario at -scale, written as BENCH_events.json.
@@ -40,6 +45,7 @@
 //	qc-bench -index-only -index-scale full -index-legacy=false -budget 15m
 //	qc-bench -index-only -snapshot-file out/net.qcsnap -o out/BENCH_snapshot.json
 //	qc-bench -obs-overhead -peers 500 -benchtime 100ms
+//	qc-bench -capacity-overhead -peers 500 -benchtime 100ms
 //	qc-bench -events -o out/BENCH_events.json -scale small
 package main
 
@@ -54,6 +60,7 @@ import (
 	"time"
 
 	qc "querycentric"
+	"querycentric/internal/capacity"
 	"querycentric/internal/catalog"
 	"querycentric/internal/cliflags"
 	"querycentric/internal/events"
@@ -203,6 +210,7 @@ func main() {
 		indexLegac  = flag.Bool("index-legacy", true, "also build the legacy string index for a before/after comparison")
 		budget      = flag.Duration("budget", 0, "fail if the index section's construction phases exceed this wall-clock budget (0 = no budget)")
 		obsOverhead = flag.Bool("obs-overhead", false, "run only the observability-plane overhead smoke (exit 1 if instrumented floods are >10% slower)")
+		capOverhead = flag.Bool("capacity-overhead", false, "run only the capacity-plane overhead smoke (exit 1 if floods with an attached-but-idle plane are >5% slower)")
 		eventsOnly  = flag.Bool("events", false, "run only the discrete-event engine throughput section (BENCH_events.json)")
 		snapFile    = flag.String("snapshot-file", "", "also save/load the index section's network through this snapshot file and report the round trip")
 	)
@@ -213,6 +221,10 @@ func main() {
 
 	if *obsOverhead {
 		runObsOverhead(*peers, *benchtime, *out)
+		return
+	}
+	if *capOverhead {
+		runCapacityOverhead(*peers, *benchtime, *out)
 		return
 	}
 
@@ -823,6 +835,94 @@ func runObsOverhead(peers int, benchtime time.Duration, baselinePath string) {
 		fail(fmt.Errorf("obs-overhead: instrumented flood %.0f ns/op exceeds limit %.0f ns/op", enabled.NsPerOp, limit))
 	}
 	fmt.Fprintln(os.Stderr, "qc-bench: obs overhead within budget")
+}
+
+// runCapacityOverhead is the `make ci` capacity-plane overhead smoke: it
+// benchmarks the optimised flood once with no plane and once with an
+// attached-but-idle plane — constructed and wired into the network but
+// disabled, exactly the state every capacity-unaware run ships with. The
+// inert-by-default contract says that state is free, so the smoke fails
+// if the idle-plane flood is more than 5% slower than EITHER the detached
+// same-run baseline or the flood_ctx row previously recorded in
+// baselinePath (the recorded row absorbs machine-load noise between the
+// two same-run measurements). An enabled unbounded plane — per-message
+// admission accounting with nothing ever shed — is measured too and
+// reported as the modeling cost of turning the plane on, without a
+// budget: that cost buys the queue model and is paid only when asked for.
+func runCapacityOverhead(peers int, benchtime time.Duration, baselinePath string) {
+	nw, criteria := buildNet(peers)
+	ctx := nw.NewFloodCtx()
+	detached := runBench("flood_ctx_capacity_off", benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Flood(i%peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	idleCfg := capacity.Config{Seed: 1} // disabled: zero service cost
+	idlePl, err := capacity.New(idleCfg, len(nw.Peers))
+	if err != nil {
+		fail(err)
+	}
+	nw.SetCapacity(idlePl)
+	ictx := nw.NewFloodCtx()
+	idle := runBench("flood_ctx_capacity_idle", benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ictx.Flood(i%peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	idlePl.Commit(1)
+	if st := idlePl.Stats(); st != (capacity.Stats{}) {
+		fail(fmt.Errorf("capacity-overhead: disabled plane recorded state %+v; it must be inert", st))
+	}
+
+	ccfg := capacity.DefaultConfig(1)
+	ccfg.Policy = capacity.Unbounded
+	ccfg.Breakers = false
+	pl, err := capacity.New(ccfg, len(nw.Peers))
+	if err != nil {
+		fail(err)
+	}
+	nw.SetCapacity(pl)
+	uctx := nw.NewFloodCtx()
+	unbounded := runBench("flood_ctx_capacity_unbounded", benchtime, func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := uctx.Flood(i%peers, criteria, 4, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pl.Commit(1) // fold the phase tallies so Stats sees the admissions
+	if pl.Stats().Enqueued == 0 {
+		fail(fmt.Errorf("capacity-overhead: unbounded plane admitted nothing; floods bypassed it"))
+	}
+	if pl.Stats().Shed != 0 {
+		fail(fmt.Errorf("capacity-overhead: unbounded plane shed %d messages; it must shed nothing", pl.Stats().Shed))
+	}
+
+	const tolerance = 1.05
+	limit := detached.NsPerOp * tolerance
+	recorded := recordedFloodCtxNs(baselinePath)
+	if recorded > 0 && recorded*tolerance > limit {
+		limit = recorded * tolerance
+	}
+	fmt.Fprintf(os.Stderr,
+		"qc-bench: capacity overhead %d peers: off %.0f ns/op, idle %.0f ns/op (%.2fx), enabled-unbounded %.0f ns/op (%.2fx); recorded flood_ctx %.0f ns/op; idle limit %.0f\n",
+		peers, detached.NsPerOp, idle.NsPerOp, idle.NsPerOp/detached.NsPerOp,
+		unbounded.NsPerOp, unbounded.NsPerOp/detached.NsPerOp, recorded, limit)
+	if idle.NsPerOp > limit {
+		fail(fmt.Errorf("capacity-overhead: idle-plane flood %.0f ns/op exceeds limit %.0f ns/op", idle.NsPerOp, limit))
+	}
+	fmt.Fprintln(os.Stderr, "qc-bench: capacity overhead within budget")
 }
 
 // recordedFloodCtxNs returns the flood_ctx ns/op recorded in a previous

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|recovery|walk|replication|shortcuts|synopsis|faults")
+		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|recovery|saturation|walk|replication|shortcuts|synopsis|faults")
 		scaleName    = cliflags.AddScale(flag.CommandLine, "default")
 		seed         = cliflags.AddSeed(flag.CommandLine)
 		deadFrac     = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
@@ -37,6 +37,9 @@ func main() {
 		burstTime    = flag.Int64("burst-time", 0, "seconds into the run the correlated crash fires in -mode recovery (0 = default)")
 		burstFrac    = flag.Float64("burst-frac", -1, "fraction of the population crashing in -mode recovery (-1 = default 0.3)")
 		politeFrac   = flag.Float64("polite", -1, "fraction of departures announced with a Bye in -mode churn-repair (-1 = default)")
+		queueDepth   = flag.Int("queue-depth", 16, "per-peer ingress queue bound in -mode saturation (messages)")
+		serviceCost  = flag.Int("service-cost", 4000, "per-message service time in -mode saturation (simulated ms)")
+		shedPolicy   = flag.String("shed-policy", "all", "saturation arms: all, or one of unbounded|drop-tail|red|ttl (run against the unbounded baseline)")
 		profiles     = cliflags.AddProfiles(flag.CommandLine)
 		obsFlags     = cliflags.AddObs(flag.CommandLine, "qc-sim")
 	)
@@ -55,6 +58,16 @@ func main() {
 		if err := cliflags.CheckFrac("-polite", *politeFrac); err != nil {
 			fail(err)
 		}
+	}
+	if err := cliflags.CheckPositive("-queue-depth", *queueDepth); err != nil {
+		fail(err)
+	}
+	if err := cliflags.CheckPositive("-service-cost", *serviceCost); err != nil {
+		fail(err)
+	}
+	if err := cliflags.CheckOneOf("-shed-policy", *shedPolicy,
+		"all", "unbounded", "drop-tail", "red", "ttl"); err != nil {
+		fail(err)
 	}
 	finishProfiles, err := profiling.Start(profiles.CPU, profiles.Mem)
 	if err != nil {
@@ -171,6 +184,29 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"recovery: detected %d failures, repaired %d/%d dials, %d hints screened\n",
 			st.FailuresDetected, st.RepairSuccesses, st.RepairAttempts, st.HostRejected)
+	case "saturation":
+		cfg := qc.DefaultSaturationConfig(*seed)
+		cfg.Capacity.QueueDepth = *queueDepth
+		cfg.Capacity.ServiceCostMs = *serviceCost
+		if *shedPolicy != "all" {
+			cfg.Arms = []string{"unbounded"}
+			if *shedPolicy != "unbounded" {
+				cfg.Arms = append(cfg.Arms, *shedPolicy)
+			}
+		}
+		env.Windows = obsFlags.Windows()
+		r, err := qc.SaturationWith(env, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# saturation: %d peers, queue depth %d, TTL %d\n",
+			r.Peers, r.QueueDepth, r.TTL)
+		writeTable(r)
+		for _, arm := range r.Arms {
+			if p := r.Peak(arm.Arm); p != nil {
+				fmt.Printf("# peak\t%s\t%.4f\t%.1f\n", arm.Arm, p.FlashSuccess, p.MsgPerQuery)
+			}
+		}
 	case "walk":
 		w, err := qc.WalkVsFlood(env)
 		if err != nil {

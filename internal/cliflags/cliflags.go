@@ -209,3 +209,13 @@ func CheckPositiveSeconds(name string, v int64) error {
 	}
 	return nil
 }
+
+// CheckOneOf rejects enum-flag values outside the allowed set.
+func CheckOneOf(name, v string, allowed ...string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s must be one of %s; got %q", name, strings.Join(allowed, "|"), v)
+}

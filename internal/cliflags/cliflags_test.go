@@ -101,3 +101,44 @@ func TestChecks(t *testing.T) {
 		t.Error("CheckPositiveSeconds wrong")
 	}
 }
+
+// TestCapacityKnobChecks covers the qc-sim saturation-mode flags: queue
+// depth and service cost must be positive, and the shed policy must come
+// from the known set.
+func TestCapacityKnobChecks(t *testing.T) {
+	intCases := []struct {
+		name  string
+		check func() error
+		ok    bool
+	}{
+		{"queue-depth ok", func() error { return CheckPositive("-queue-depth", 16) }, true},
+		{"queue-depth zero", func() error { return CheckPositive("-queue-depth", 0) }, false},
+		{"queue-depth negative", func() error { return CheckPositive("-queue-depth", -4) }, false},
+		{"service-cost ok", func() error { return CheckPositive("-service-cost", 10000) }, true},
+		{"service-cost zero", func() error { return CheckPositive("-service-cost", 0) }, false},
+		{"service-cost negative", func() error { return CheckPositive("-service-cost", -1) }, false},
+	}
+	for _, tc := range intCases {
+		if err := tc.check(); (err == nil) != tc.ok {
+			t.Errorf("%s: got err=%v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	policies := []string{"all", "unbounded", "drop-tail", "red", "ttl"}
+	polCases := []struct {
+		value string
+		ok    bool
+	}{
+		{"all", true}, {"unbounded", true}, {"drop-tail", true},
+		{"red", true}, {"ttl", true},
+		{"", false}, {"droptail", false}, {"RED", false}, {"tail-drop", false},
+	}
+	for _, tc := range polCases {
+		err := CheckOneOf("-shed-policy", tc.value, policies...)
+		if (err == nil) != tc.ok {
+			t.Errorf("-shed-policy %q: got err=%v, want ok=%v", tc.value, err, tc.ok)
+		}
+		if err != nil && !strings.Contains(err.Error(), "all|unbounded|drop-tail|red|ttl") {
+			t.Errorf("-shed-policy %q: error %q does not list choices", tc.value, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package events
+
+import (
+	"encoding/json"
+	"testing"
+
+	"querycentric/internal/capacity"
+	"querycentric/internal/obs"
+)
+
+// capacityScenario is a flash-crowd config with a tight bounded-capacity
+// plane attached: small queues, slow service, retries on untimely answers.
+func capacityScenario(seed uint64, pol capacity.Policy, workers int) ScenarioConfig {
+	cfg := shortScenario(FlashCrowd, seed)
+	cfg.Flash = &FlashConfig{Start: 1200, End: 2400, Frac: 0.5, Boost: 3}
+	cfg.Workers = workers
+	cfg.QueryRetries = 1
+	ccfg := capacity.DefaultConfig(seed)
+	ccfg.QueueDepth = 8
+	ccfg.Policy = pol
+	ccfg.Breakers = pol == capacity.TTLAware
+	cfg.Capacity = &ccfg
+	return cfg
+}
+
+// TestCapacityScenarioWorkerInvariant extends the schedule-invariance
+// contract to the overload plane: the full windowed result — shed counts,
+// breaker transitions, retried queries and all — must be byte-identical
+// across reruns and worker counts, for every shedding policy.
+func TestCapacityScenarioWorkerInvariant(t *testing.T) {
+	for _, pol := range []capacity.Policy{capacity.DropTail, capacity.RED, capacity.TTLAware} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			run := func(workers int) []byte {
+				cfg := capacityScenario(61, pol, workers)
+				res := runScenario(t, testNetwork(t, 61), cfg)
+				b, err := json.Marshal(res)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				return b
+			}
+			w1a, w1b, w8 := run(1), run(1), run(8)
+			if string(w1a) != string(w1b) {
+				t.Fatal("identical capacity runs diverged")
+			}
+			if string(w1a) != string(w8) {
+				t.Fatal("worker count changed capacity-enabled scenario output")
+			}
+			var res ScenarioResult
+			if err := json.Unmarshal(w1a, &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Capacity == nil || res.Capacity.Shed == 0 {
+				t.Fatalf("capacity plane never shed under the flash crowd: %+v", res.Capacity)
+			}
+		})
+	}
+}
+
+// TestCapacityDisabledIsInert pins the inert-by-default contract at the
+// scenario level: a nil Capacity config and a disabled (zero) one must
+// produce byte-identical windowed results AND byte-identical enabled-obs
+// snapshots — attaching the plane machinery without enabling it changes
+// nothing.
+func TestCapacityDisabledIsInert(t *testing.T) {
+	run := func(cap *capacity.Config) (string, string) {
+		cfg := shortScenario(FlashCrowd, 67)
+		cfg.Capacity = cap
+		cfg.Workers = 2
+		nw := testNetwork(t, 67)
+		s, err := NewScenario(nw, cfg)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		reg := obs.NewRegistry()
+		wl := obs.NewWindowLog()
+		s.Instrument(reg, wl)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		wb, err := json.Marshal(wl.Snapshot())
+		if err != nil {
+			t.Fatalf("marshal windows: %v", err)
+		}
+		return string(b), string(wb)
+	}
+	nilRes, nilWin := run(nil)
+	zeroRes, zeroWin := run(&capacity.Config{})
+	if nilRes != zeroRes {
+		t.Fatal("disabled capacity config changed scenario output vs nil")
+	}
+	if nilWin != zeroWin {
+		t.Fatal("disabled capacity config changed window series vs nil")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"querycentric/internal/capacity"
 	"querycentric/internal/churn"
 	"querycentric/internal/faults"
 	"querycentric/internal/gnet"
@@ -110,6 +111,22 @@ type ScenarioConfig struct {
 	// DiurnalAmp modulates query volume sinusoidally over the horizon
 	// (peak = base*(1+amp), trough = base*(1-amp)); 0 disables.
 	DiurnalAmp float64
+	// Capacity, when non-nil and enabled, attaches a bounded-ingress
+	// overload plane to the network: floods and keepalives charge per-peer
+	// queues, shedding policies drop overload, and query batches fold queue
+	// state every Capacity.CommitEvery trials. Nil (or a disabled config)
+	// leaves the run byte-identical to the unbounded engine.
+	Capacity *capacity.Config
+	// QueryRetries is how many extra flood attempts an unanswered (or
+	// untimely) query makes, each a full-cost flood on its own derived
+	// stream — the user-behavior feedback loop that makes overload
+	// self-amplifying. 0 (the default) preserves single-attempt behavior.
+	QueryRetries int
+	// AnswerDeadlineS is the queueing-delay budget for a hit to count:
+	// a query succeeds only if some answering peer's committed queue delay
+	// is within the deadline. 0 defaults to Window. Only consulted when a
+	// capacity plane is attached.
+	AnswerDeadlineS int64
 	// SeriesPrefix prefixes the windowed obs series names; empty uses
 	// "events_".
 	SeriesPrefix string
@@ -148,6 +165,17 @@ func (c ScenarioConfig) Validate() error {
 		if err := c.Flash.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.Capacity != nil {
+		if err := c.Capacity.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.QueryRetries < 0 {
+		return fmt.Errorf("events: QueryRetries must be >= 0, got %d", c.QueryRetries)
+	}
+	if c.AnswerDeadlineS < 0 {
+		return fmt.Errorf("events: AnswerDeadlineS must be >= 0, got %d", c.AnswerDeadlineS)
 	}
 	return nil
 }
@@ -209,7 +237,7 @@ type Window struct {
 	Start int64 `json:"start"`
 	End   int64 `json:"end"`
 	// Queries and Hits count the window's known-item floods and how many
-	// returned at least one result; Success is their ratio.
+	// returned at least one timely result; Success is their ratio.
 	Queries int     `json:"queries"`
 	Hits    int     `json:"hits"`
 	Success float64 `json:"success"`
@@ -229,6 +257,12 @@ type Window struct {
 	// deficit-to-restoration time in seconds (0 when none).
 	Repaired      int     `json:"repaired"`
 	RepairLatency float64 `json:"repair_latency_s"`
+	// Capacity-plane deltas for the window, zero (and omitted from JSON)
+	// when no plane is attached: messages shed by bounded queues, the shed
+	// fraction of all admission attempts, and breaker open transitions.
+	Shed         int64   `json:"shed,omitempty"`
+	ShedFrac     float64 `json:"shed_frac,omitempty"`
+	BreakerOpens int64   `json:"breaker_opens,omitempty"`
 }
 
 // ScenarioResult is one scenario run's windowed output.
@@ -240,6 +274,9 @@ type ScenarioResult struct {
 	ChurnEvents     int              `json:"churn_events"`
 	Windows         []Window         `json:"windows"`
 	RepairStats     gnet.RepairStats `json:"repair_stats"`
+	// Capacity is the overload plane's end-of-run tallies; nil (omitted)
+	// when no plane was attached.
+	Capacity *capacity.Stats `json:"capacity,omitempty"`
 }
 
 // Scenario is one configured run: an engine, a network under maintenance,
@@ -252,6 +289,11 @@ type Scenario struct {
 	tl  *churn.Timeline
 
 	qbase *rng.Source // query workload stream family
+
+	// capPlane is the attached overload plane (nil when disabled); lastCap
+	// is its stats snapshot at the previous window close, for deltas.
+	capPlane *capacity.Plane
+	lastCap  capacity.Stats
 
 	flashCriteria string
 
@@ -316,6 +358,18 @@ func NewScenario(nw *gnet.Network, cfg ScenarioConfig) (*Scenario, error) {
 		return nil, err
 	}
 	s.m = m
+	if cfg.Capacity != nil {
+		pl, err := capacity.New(*cfg.Capacity, n)
+		if err != nil {
+			return nil, err
+		}
+		// A disabled config yields an inert plane; leave it detached so the
+		// run stays byte-identical to the unbounded engine.
+		if pl.Enabled() {
+			nw.SetCapacity(pl)
+			s.capPlane = pl
+		}
+	}
 	if cfg.Flash != nil {
 		s.flashCriteria = pickFlashObject(nw, cfg.Seed)
 	}
@@ -330,8 +384,13 @@ func NewScenario(nw *gnet.Network, cfg ScenarioConfig) (*Scenario, error) {
 // maintenance counters attach through Network.Instrument as usual.
 func (s *Scenario) Instrument(reg *obs.Registry, wl *obs.WindowLog) {
 	s.eng.Instrument(reg)
+	s.capPlane.Instrument(reg)
 	s.wlog = wl
 }
+
+// CapacityStats exposes the overload plane's committed tallies (zero when
+// no plane is attached).
+func (s *Scenario) CapacityStats() capacity.Stats { return s.capPlane.Stats() }
 
 // Engine exposes the underlying queue (for diagnostics and tests).
 func (s *Scenario) Engine() *Engine { return s.eng }
@@ -404,7 +463,11 @@ func (s *Scenario) schedule() error {
 		var tick func(now int64, r *rng.Source) error
 		round := 0
 		tick = func(now int64, _ *rng.Source) error {
+			// Service time elapses before the round's pings charge the
+			// queues; the round's admissions fold immediately after.
+			s.capPlane.Advance(now)
 			s.m.Tick(now)
+			s.capPlane.Commit(now)
 			s.noteDeficits(now)
 			next := now + interval
 			if next > cfg.Duration {
@@ -492,50 +555,114 @@ func (s *Scenario) flashFrac(at int64) float64 {
 // queryBatch floods count known-item queries at sim-time now, fanned out
 // through the parallel engine: each trial owns a stream derived from the
 // batch name, so results are byte-identical at every worker count.
+//
+// Under an attached capacity plane the batch runs in sub-batches of
+// Capacity.CommitEvery trials with a queue-state fold between them:
+// admission inside a sub-batch is optimistic against the phase-frozen
+// depths (so a queue can overshoot by at most the sub-batch size), and
+// every fold is keyed by trial index, not scheduling order, so the split
+// is worker-invariant. An unanswered — or untimely — query retries up to
+// QueryRetries extra floods on its own derived streams.
 func (s *Scenario) queryBatch(now int64, name string, count int) error {
 	online := s.m.Online()
 	flashFrac := s.flashFrac(now)
+	pl := s.capPlane
+	pl.Advance(now)
+	deadline := s.answerDeadline()
 	type trial struct {
 		hit  bool
 		msgs int
 	}
-	results, err := parallel.MapWith(parallel.Workers(s.cfg.Workers), count,
-		func() *gnet.FloodCtx { return s.nw.NewFloodCtx() },
-		func(ctx *gnet.FloodCtx, q int) (trial, error) {
-			r := s.qbase.Derive(fmt.Sprintf("%s/trial/%d", name, q))
-			criteria := ""
-			if flashFrac > 0 && r.Bool(flashFrac) {
-				criteria = s.flashCriteria
-			}
-			origin := pickOnline(s.nw, online, r, -1)
-			if origin < 0 {
+	runTrial := func(ctx *gnet.FloodCtx, q int) (trial, error) {
+		r := s.qbase.Derive(fmt.Sprintf("%s/trial/%d", name, q))
+		criteria := ""
+		if flashFrac > 0 && r.Bool(flashFrac) {
+			criteria = s.flashCriteria
+		}
+		origin := pickOnline(s.nw, online, r, -1)
+		if origin < 0 {
+			return trial{}, nil
+		}
+		if criteria == "" {
+			target := pickOnline(s.nw, online, r, origin)
+			if target < 0 {
 				return trial{}, nil
 			}
-			if criteria == "" {
-				target := pickOnline(s.nw, online, r, origin)
-				if target < 0 {
-					return trial{}, nil
-				}
-				lib := s.nw.Peers[target].Library
-				criteria = lib[r.Intn(len(lib))].Name
-			}
-			fr, err := ctx.Flood(origin, criteria, s.cfg.TTL, r)
-			if err != nil {
-				return trial{}, nil // flood errors count as misses
-			}
-			return trial{hit: fr.TotalResults > 0, msgs: fr.Messages}, nil
-		})
-	if err != nil {
-		return err
-	}
-	for _, t := range results {
-		s.winQueries++
-		if t.hit {
-			s.winHits++
+			lib := s.nw.Peers[target].Library
+			criteria = lib[r.Intn(len(lib))].Name
 		}
-		s.winMessages += int64(t.msgs)
+		var t trial
+		for a := 0; a <= s.cfg.QueryRetries; a++ {
+			ar := r
+			if a > 0 {
+				ar = s.qbase.Derive(fmt.Sprintf("%s/trial/%d/retry/%d", name, q, a))
+			}
+			fr, err := ctx.Flood(origin, criteria, s.cfg.TTL, ar)
+			if err != nil {
+				break // flood errors count as misses
+			}
+			t.msgs += fr.Messages
+			if s.timelyHit(fr, deadline) {
+				t.hit = true
+				break
+			}
+		}
+		return t, nil
+	}
+	stride := count
+	if ce := pl.Config().CommitEvery; pl.Enabled() && ce > 0 && ce < stride {
+		stride = ce
+	}
+	for lo := 0; lo < count; lo += stride {
+		n := stride
+		if lo+n > count {
+			n = count - lo
+		}
+		results, err := parallel.MapWith(parallel.Workers(s.cfg.Workers), n,
+			func() *gnet.FloodCtx { return s.nw.NewFloodCtx() },
+			func(ctx *gnet.FloodCtx, j int) (trial, error) {
+				return runTrial(ctx, lo+j)
+			})
+		if err != nil {
+			return err
+		}
+		for _, t := range results {
+			s.winQueries++
+			if t.hit {
+				s.winHits++
+			}
+			s.winMessages += int64(t.msgs)
+		}
+		pl.Commit(now)
 	}
 	return nil
+}
+
+// answerDeadline is the queueing-delay budget for a hit to count.
+func (s *Scenario) answerDeadline() int64 {
+	if s.cfg.AnswerDeadlineS > 0 {
+		return s.cfg.AnswerDeadlineS
+	}
+	return s.cfg.Window
+}
+
+// timelyHit reports whether a flood's results arrive within the deadline:
+// at least one answering peer whose committed queue backlog services the
+// query in time. Without a capacity plane every hit is instant (the
+// unbounded assumption the plane exists to interrogate).
+func (s *Scenario) timelyHit(fr *gnet.FloodResult, deadline int64) bool {
+	if fr.TotalResults == 0 {
+		return false
+	}
+	if s.capPlane == nil {
+		return true
+	}
+	for _, h := range fr.Hits {
+		if s.capPlane.QueueDelayS(h.PeerID) <= deadline {
+			return true
+		}
+	}
+	return false
 }
 
 // pickOnline draws an online, non-empty-library peer distinct from exclude
@@ -629,6 +756,16 @@ func (s *Scenario) closeWindow(start, end int64) {
 		w.MeanDegree = float64(degSum) / float64(up)
 	}
 	w.Partitions = onlinePartitions(s.nw, online)
+	if s.capPlane != nil {
+		s.capPlane.Advance(end)
+		st := s.capPlane.Stats()
+		w.Shed = st.Shed - s.lastCap.Shed
+		w.BreakerOpens = st.BreakerOpens - s.lastCap.BreakerOpens
+		if att := w.Shed + (st.Enqueued - s.lastCap.Enqueued); att > 0 {
+			w.ShedFrac = float64(w.Shed) / float64(att)
+		}
+		s.lastCap = st
+	}
 	s.windows = append(s.windows, w)
 
 	s.wlog.Add(s.prefix+"success", start, end, w.Success)
@@ -638,6 +775,11 @@ func (s *Scenario) closeWindow(start, end int64) {
 	s.wlog.Add(s.prefix+"partitions", start, end, float64(w.Partitions))
 	s.wlog.Add(s.prefix+"repair_latency_s", start, end, w.RepairLatency)
 	s.wlog.Add(s.prefix+"queries", start, end, float64(w.Queries))
+	// The shed series only exists when the plane is attached, keeping
+	// capacity-disabled window logs byte-identical to the unbounded engine.
+	if s.capPlane != nil {
+		s.wlog.Add(s.prefix+"shed_frac", start, end, w.ShedFrac)
+	}
 
 	s.winQueries, s.winHits, s.winMessages = 0, 0, 0
 	s.winRepaired, s.winLatency = 0, 0
@@ -687,6 +829,10 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 	}
 	if s.tl != nil {
 		res.ChurnEvents = len(s.tl.Events)
+	}
+	if s.capPlane != nil {
+		st := s.capPlane.Stats()
+		res.Capacity = &st
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"querycentric/internal/capacity"
 	"querycentric/internal/dict"
 	"querycentric/internal/faults"
 	"querycentric/internal/gmsg"
@@ -55,6 +56,8 @@ type FloodCtx struct {
 	seen      []int32 // epoch stamp of the flood that processed the peer
 	lossEpoch []int32 // epoch stamp validating lossN
 	lossN     []int32 // per-flood deliveries attempted to the peer
+	capEpoch  []int32 // epoch stamp validating capN
+	capN      []int32 // per-flood queue-admission attempts at the peer
 	epoch     int32
 
 	frontier []int32
@@ -79,6 +82,8 @@ func (nw *Network) NewFloodCtx() *FloodCtx {
 		seen:      make([]int32, n),
 		lossEpoch: make([]int32, n),
 		lossN:     make([]int32, n),
+		capEpoch:  make([]int32, n),
+		capN:      make([]int32, n),
 	}
 }
 
@@ -90,6 +95,7 @@ func (c *FloodCtx) bump() int32 {
 		for i := range c.seen {
 			c.seen[i] = 0
 			c.lossEpoch[i] = 0
+			c.capEpoch[i] = 0
 		}
 		c.epoch = 1
 	}
@@ -109,6 +115,21 @@ func (c *FloodCtx) lost(plane *faults.Plane, salt uint64, to int32) bool {
 	}
 	c.lossN[to] = n + 1
 	return plane.MessageLossAt(salt, int(to), uint64(n))
+}
+
+// admit decides whether a delivered copy enters peer `to`'s bounded ingress
+// queue, counting admission attempts per (flood, destination) exactly like
+// lost() counts deliveries, so shedding is a pure function of the flood's
+// salt and the phase-frozen queue depth — independent of worker count.
+func (c *FloodCtx) admit(p *capacity.Plane, salt uint64, to int32, ttl, floodTTL int) bool {
+	var n int32
+	if c.capEpoch[to] == c.epoch {
+		n = c.capN[to]
+	} else {
+		c.capEpoch[to] = c.epoch
+	}
+	c.capN[to] = n + 1
+	return p.Admit(salt, int(to), uint64(n), ttl, floodTTL)
 }
 
 // Flood floods a keyword query from origin with the given TTL, following
@@ -165,6 +186,8 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	dead := func(to int32) bool {
 		return alive != nil && int(to) < len(alive) && !alive[to]
 	}
+	cp := nw.capacity
+	capOn := cp.Enabled()
 
 	// Observability: local tallies accumulated in registers and published
 	// once at flood end, so the disabled plane costs one nil check and the
@@ -174,6 +197,9 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	tracing := ob != nil && ob.traces.Enabled()
 	var perRing []int
 	var deadDrops, lossDrops, qrpSkipped int
+	// breakerSkips is published to the capacity plane at flood end; shed
+	// copies are tallied by the plane itself inside Admit.
+	var breakerSkips int
 
 	raw, err := gmsg.Encode(q)
 	if err != nil {
@@ -182,6 +208,12 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	frontier, next := c.frontier[:0], c.next[:0]
 	defer func() { c.frontier, c.next = frontier[:0], next[:0] }()
 	for _, nb := range nw.Peers[origin].Neighbors {
+		// An open circuit breaker suppresses the send at the origin: the
+		// copy is never transmitted and never counted.
+		if capOn && cp.Blocked(nb) {
+			breakerSkips++
+			continue
+		}
 		frontier = append(frontier, int32(nb))
 		res.Messages++
 	}
@@ -212,6 +244,12 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 			}
 			if lossy && c.lost(plane, salt, to) {
 				lossDrops++
+				continue
+			}
+			// Bounded-capacity ingress: a transmitted (counted) copy that the
+			// destination's queue sheds is dropped unprocessed. The peer is
+			// not marked seen — a later-ring copy may find room.
+			if capOn && !c.admit(cp, salt, to, int(m.Header.TTL), ttl) {
 				continue
 			}
 			c.seen[to] = epoch
@@ -254,6 +292,10 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 					qrpSkipped++
 					continue
 				}
+				if capOn && cp.Blocked(nb) {
+					breakerSkips++
+					continue
+				}
 				next = append(next, int32(nb))
 				res.Messages++
 			}
@@ -263,6 +305,9 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 		}
 		frontier, next = next, frontier[:0]
 		raw = fraw
+	}
+	if breakerSkips > 0 {
+		cp.AddSuppressed(int64(breakerSkips))
 	}
 	if ob != nil {
 		ob.floods.Inc()

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"querycentric/internal/capacity"
 	"querycentric/internal/catalog"
 	"querycentric/internal/dict"
 	"querycentric/internal/faults"
@@ -117,6 +118,10 @@ type Network struct {
 	// faults is the injection plane consulted by Dial, servent sessions
 	// and Flood; nil injects nothing (see SetFaults).
 	faults *faults.Plane
+
+	// capacity is the bounded-ingress overload plane consulted by Flood
+	// and the Maintainer's pings; nil admits everything (see SetCapacity).
+	capacity *capacity.Plane
 
 	// obs is the attached observability plane; nil (the default) records
 	// nothing and costs one pointer check per flood (see Instrument).

@@ -366,7 +366,15 @@ func (m *Maintainer) pingNeighbors(u int, r *rng.Source) {
 		if m.online[v] {
 			lostPing := m.plane.MessageLossAt(salt, v, 0)
 			lostPong := m.plane.MessageLossAt(salt, u, uint64(v)+1)
-			if lostPing || lostPong {
+			// Keepalives compete for the same bounded ingress queue as
+			// queries: a shed ping looks exactly like a lost one, so
+			// overload degrades failure detection the way real saturation
+			// does. The loss rolls above stay unconditional — they are pure
+			// draws, so a disabled capacity plane changes nothing.
+			if cp := nw.capacity; cp.Enabled() && !cp.AdmitPing(salt, v) {
+				m.stats.PingsLost++
+				m.om.pingsLost.Inc()
+			} else if lostPing || lostPong {
 				m.stats.PingsLost++
 				m.om.pingsLost.Inc()
 			} else {

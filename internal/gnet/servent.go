@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 
+	"querycentric/internal/capacity"
 	"querycentric/internal/faults"
 )
 
@@ -28,6 +29,15 @@ func (nw *Network) SetFaults(p *faults.Plane) { nw.faults = p }
 
 // Faults returns the attached fault plane (nil when none).
 func (nw *Network) Faults() *faults.Plane { return nw.faults }
+
+// SetCapacity attaches a bounded-ingress overload plane: floods and
+// maintenance pings charge each destination's queue and respect its
+// circuit breaker. A nil plane — the default — admits everything and
+// leaves every code path byte-identical to the unbounded substrate.
+func (nw *Network) SetCapacity(p *capacity.Plane) { nw.capacity = p }
+
+// Capacity returns the attached overload plane (nil when none).
+func (nw *Network) Capacity() *capacity.Plane { return nw.capacity }
 
 // Dial opens a wire connection to the peer at addr, serving the peer's side
 // on a background goroutine. The caller must Close the returned connection.

@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/gnet"
+)
+
+// FuzzSnapshotLoad asserts Load's contract over arbitrary bytes: every
+// input yields either one of the package's typed sentinel errors or a
+// fingerprint-verified network — never a panic, never an untyped failure,
+// and never a "valid" network from damaged bytes (the trailing SHA-256
+// makes any mutation loud). Seeded with a real snapshot of a small
+// catalog-backed network plus the classic traps: empty file, bare magic,
+// bumped version, truncated and bit-flipped variants.
+func FuzzSnapshotLoad(f *testing.F) {
+	cat, err := catalog.Build(catalog.Config{
+		Seed: 11, Peers: 12, UniqueObjects: 48, ReplicaAlpha: 2.45,
+		VariantProb: 0.05, NonSpecificPeerFrac: 0.03,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	nw, err := gnet.NewFromCatalog(gnet.DefaultConfig(11), cat)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed.qcsnap")
+	if _, err := Save(path, nw, 0); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	verBump := append([]byte(nil), seed...)
+	verBump[len(magic)]++ // little-endian version low byte
+	f.Add(verBump)
+	f.Add(seed[:len(seed)/2])
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.qcsnap")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(p, 0)
+		if err != nil {
+			for _, sentinel := range []error{ErrFormat, ErrVersion, ErrTruncated, ErrCorrupt, ErrFingerprint} {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("Load returned an untyped error: %v", err)
+		}
+		// Only a fingerprint-clean file gets here; the network must be
+		// fully usable.
+		if got == nil || len(got.Peers) == 0 {
+			t.Fatalf("Load returned nil error but unusable network %v", got)
+		}
+	})
+}

@@ -24,6 +24,7 @@ package querycentric
 import (
 	"io"
 
+	"querycentric/internal/capacity"
 	"querycentric/internal/events"
 	"querycentric/internal/experiments"
 	"querycentric/internal/faults"
@@ -295,6 +296,59 @@ func Recovery(e *Env) (*RecoveryResult, error) { return experiments.Recovery(e) 
 // and repair parameters.
 func RecoveryWith(e *Env, cfg RecoveryConfig) (*RecoveryResult, error) {
 	return experiments.RecoveryWith(e, cfg)
+}
+
+// Bounded-capacity overload plane (see internal/capacity): per-peer
+// ingress queues with configurable depth and service cost, pluggable
+// shedding policies and per-peer circuit breakers, attached to a network
+// via Network.SetCapacity or ScenarioConfig.Capacity. Inert by default: a
+// nil plane (or disabled config) leaves every run byte-identical to the
+// unbounded substrate.
+type (
+	CapacityConfig = capacity.Config
+	CapacityPlane  = capacity.Plane
+	CapacityStats  = capacity.Stats
+	ShedPolicy     = capacity.Policy
+)
+
+// Shedding policies.
+const (
+	ShedUnbounded = capacity.Unbounded
+	ShedDropTail  = capacity.DropTail
+	ShedRED       = capacity.RED
+	ShedTTLAware  = capacity.TTLAware
+)
+
+// Capacity-plane constructors.
+var (
+	NewCapacityPlane      = capacity.New
+	DefaultCapacityConfig = capacity.DefaultConfig
+	ParseShedPolicy       = capacity.ParsePolicy
+)
+
+// Saturation types: the flash-crowd overload sweep comparing shedding
+// policies against the unbounded-queue assumption.
+type (
+	SaturationResult = experiments.SaturationResult
+	SaturationConfig = experiments.SaturationConfig
+	SaturationArm    = experiments.SaturationArm
+	SaturationPoint  = experiments.SaturationPoint
+)
+
+// DefaultSaturationConfig returns the standard saturation sweep (a 9x
+// offered-load range over a one-hour flash crowd).
+func DefaultSaturationConfig(seed uint64) SaturationConfig {
+	return experiments.DefaultSaturationConfig(seed)
+}
+
+// Saturation sweeps the flash-crowd scenario over offered load for every
+// capacity arm.
+func Saturation(e *Env) (*SaturationResult, error) { return experiments.Saturation(e) }
+
+// SaturationWith runs the sweep with explicit loads, queue model and
+// shedding arms.
+func SaturationWith(e *Env, cfg SaturationConfig) (*SaturationResult, error) {
+	return experiments.SaturationWith(e, cfg)
 }
 
 // SweepPoint is one evaluation-interval setting's mean statistic.
