@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke saturation-smoke scalefull-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke saturation-smoke scalefull-smoke scale1m-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -57,9 +57,10 @@ bench-events:
 	$(GO) run ./cmd/qc-bench -events -o out/BENCH_events.json -scale small
 
 # Snapshot persistence round trip -> out/BENCH_snapshot.json: build the
-# default-scale network, save it, load it back, verify the restored index
-# checksum and report save/load wall-clock, file size and how far the
-# varint arenas compress the postings.
+# default-scale network, save it, load it back — down both the copying
+# read path and the zero-copy memory-mapped path — verify the restored
+# index checksums and report save/load wall-clock, file size and how far
+# the varint arenas compress the postings.
 bench-snapshot:
 	$(GO) run ./cmd/qc-bench -index-only -index-scale default -index-legacy=false \
 		-snapshot-file out/net_default.qcsnap -o out/BENCH_snapshot.json
@@ -95,12 +96,28 @@ saturation-smoke:
 # regressions that push 37k-peer / 8.1M-object construction out of a CI-able
 # budget are caught without running full experiments. The budget leaves
 # ~2x headroom over the measured single-CPU build (see BENCH_index_full.json).
-# The snapshot leg saves the built network, loads it back and fails unless
-# the restored checksum matches and the load takes at most a tenth of the
-# build (the substrate's reuse guarantee at paper scale).
+# The snapshot leg saves the built network, loads it back — copying and
+# memory-mapped — and fails unless the restored checksums match, the
+# copying load takes at most a tenth of the build, and the mapped load
+# beats the copying one. The -sharded leg reruns the whole construction
+# through the shard-and-spill pipeline and fails unless its file is
+# byte-identical to the in-heap save (the paper-scale identity gate).
 scalefull-smoke:
 	$(GO) run ./cmd/qc-bench -index-only -index-scale full -index-legacy=false \
-		-budget 10m -snapshot-file out/net_full.qcsnap -o out/BENCH_index_full.json
+		-budget 10m -sharded -shard-size 8192 \
+		-snapshot-file out/net_full.qcsnap -o out/BENCH_index_full.json
+
+# Million-peer substrate smoke: shard-and-spill a 1,000,000-peer network
+# straight into a snapshot (the substrate never fits on the heap — peak
+# memory is one 65,536-peer shard plus the shared dictionary), restore it
+# zero-copy through the memory mapping, probe it with real floods, and
+# fail if build+load exceed the wall-clock budget or process peak RSS
+# (VmHWM) exceeds the ceiling. Budget and ceiling leave ~2x headroom over
+# the measured single-CPU run (see BENCH_index_1m.json).
+scale1m-smoke:
+	$(GO) run ./cmd/qc-bench -sharded-only -index-scale 1m -shard-size 65536 \
+		-budget 6m -rss-ceiling-mb 6144 \
+		-snapshot-file out/net_1m.qcsnap -o out/BENCH_index_1m.json
 
 # Regenerate-and-diff check on the frozen public API surface (API.txt).
 # Regenerate after an intentional API change with:
@@ -127,11 +144,13 @@ capacity-overhead-smoke:
 # under the race detector, the workers=8 determinism regression, the
 # decoder, churn-timeline, posting-codec and snapshot-loader fuzz smokes,
 # the fault-burst recovery smoke, the flash-crowd saturation smoke, the
-# API freeze, the metrics- and capacity-overhead smokes and the
-# paper-scale construction smoke.
-ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke saturation-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke scalefull-smoke
+# API freeze, the metrics- and capacity-overhead smokes, the paper-scale
+# construction smoke (with the sharded byte-identity gate) and the
+# million-peer sharded-construction smoke.
+ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke saturation-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke scalefull-smoke scale1m-smoke
 
 check: ci
 
 clean:
 	$(GO) clean ./...
+	rm -f out/*.qcsnap

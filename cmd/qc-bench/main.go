@@ -22,7 +22,18 @@
 // section: the built network is saved to the given file and loaded back,
 // timing both legs and verifying the restored index checksum; in
 // -index-only mode the smoke additionally fails unless the load completes
-// in at most a tenth of the build time.
+// in at most a tenth of the build time. The snapshot section also times
+// the memory-mapped zero-copy loader against the copying one (in
+// -index-only mode the mapped load must win), and with -sharded it runs a
+// shard-and-spill build from the identical configuration and fails unless
+// the resulting file is byte-identical to the in-heap save.
+//
+// With -sharded-only the in-heap build is skipped entirely: the
+// population is built straight into -snapshot-file with the shard-and-spill
+// pipeline, loaded back through the mapping, flood-probed, and gated on
+// -budget and -rss-ceiling-mb (process peak RSS, VmHWM). This is the
+// million-peer smoke (`make scale1m-smoke`) — the whole substrate never
+// fits on the heap, only one shard plus the dictionary does.
 //
 // With -obs-overhead the command instead runs the observability-plane
 // overhead smoke: the flood micro-benchmark once with the metrics plane
@@ -44,18 +55,26 @@
 //	qc-bench -o out/BENCH_flood.json -scale tiny
 //	qc-bench -index-only -index-scale full -index-legacy=false -budget 15m
 //	qc-bench -index-only -snapshot-file out/net.qcsnap -o out/BENCH_snapshot.json
+//	qc-bench -index-only -sharded -shard-size 8192 -snapshot-file out/net.qcsnap
+//	qc-bench -sharded-only -index-scale 1m -shard-size 65536 -snapshot-file out/net_1m.qcsnap \
+//	         -budget 40m -rss-ceiling-mb 4096 -o out/BENCH_index_1m.json
 //	qc-bench -obs-overhead -peers 500 -benchtime 100ms
 //	qc-bench -capacity-overhead -peers 500 -benchtime 100ms
 //	qc-bench -events -o out/BENCH_events.json -scale small
 package main
 
 import (
+	"bufio"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -147,6 +166,48 @@ type SnapshotBench struct {
 	ArenaCompression float64 `json:"arena_compression_ratio"`
 
 	ChecksumMatch bool `json:"checksum_match"`
+
+	// Zero-copy leg: the same file restored through the read-only memory
+	// mapping instead of the copying read path.
+	MappedLoadSeconds   float64 `json:"mapped_load_seconds"`
+	MappedSpeedupVsLoad float64 `json:"mapped_speedup_vs_load"`
+	MappedChecksumMatch bool    `json:"mapped_checksum_match"`
+
+	// Shard-and-spill leg (-sharded): the same configuration built straight
+	// to disk in bounded shards must reproduce the in-heap save bit for bit.
+	ShardSize           int     `json:"shard_size,omitempty"`
+	ShardedBuildSeconds float64 `json:"sharded_build_seconds,omitempty"`
+	ShardedFileMatch    bool    `json:"sharded_file_match,omitempty"`
+}
+
+// ShardedBench records the -sharded-only smoke: a shard-and-spill build at
+// a scale whose substrate does not fit on the heap, restored through the
+// memory mapping and probed with real floods, with the process peak RSS
+// (VmHWM) as the memory-bound evidence.
+type ShardedBench struct {
+	Scale      string `json:"scale"`
+	Peers      int    `json:"peers"`
+	Objects    int    `json:"objects"`
+	Placements int    `json:"placements"`
+	ShardSize  int    `json:"shard_size"`
+	Shards     int    `json:"shards"`
+	DictTerms  int    `json:"dict_terms"`
+	FileBytes  int64  `json:"file_bytes"`
+
+	BuildSeconds      float64 `json:"build_seconds"`
+	MappedLoadSeconds float64 `json:"mapped_load_seconds"`
+
+	// IndexChecksum is the restored network's index fingerprint in hex, for
+	// cross-run and cross-machine comparison.
+	IndexChecksum     string `json:"index_checksum"`
+	FloodPeersReached int    `json:"flood_peers_reached"`
+	FloodResults      int    `json:"flood_results"`
+
+	PeakRSSMB        float64 `json:"peak_rss_mb"` // VmHWM from /proc/self/status
+	RSSCeilingMB     float64 `json:"rss_ceiling_mb,omitempty"`
+	WithinRSSCeiling bool    `json:"within_rss_ceiling"`
+	BudgetSeconds    float64 `json:"budget_seconds,omitempty"`
+	WithinBudget     bool    `json:"within_budget"`
 }
 
 // EventsBench records discrete-event engine throughput (the -events
@@ -192,6 +253,8 @@ type Report struct {
 
 	Snapshot *SnapshotBench `json:"snapshot,omitempty"`
 
+	Sharded *ShardedBench `json:"sharded,omitempty"`
+
 	Events *EventsBench `json:"events,omitempty"`
 
 	Note string `json:"note"`
@@ -213,10 +276,23 @@ func main() {
 		capOverhead = flag.Bool("capacity-overhead", false, "run only the capacity-plane overhead smoke (exit 1 if floods with an attached-but-idle plane are >5% slower)")
 		eventsOnly  = flag.Bool("events", false, "run only the discrete-event engine throughput section (BENCH_events.json)")
 		snapFile    = flag.String("snapshot-file", "", "also save/load the index section's network through this snapshot file and report the round trip")
+		sharded     = flag.Bool("sharded", false, "with -snapshot-file: also run a shard-and-spill build from the same configuration and fail unless its file is byte-identical to the in-heap save")
+		shardedOnly = flag.Bool("sharded-only", false, "skip the in-heap build: shard-and-spill straight into -snapshot-file, restore through the memory mapping, flood-probe, and gate on -budget and -rss-ceiling-mb (the 1m smoke)")
+		shardSize   = flag.Int("shard-size", 0, "peers per shard for -sharded/-sharded-only (0 = builder default)")
+		rssCeiling  = flag.Int("rss-ceiling-mb", 0, "with -sharded-only: fail if process peak RSS (VmHWM) exceeds this many MiB (0 = no ceiling)")
 	)
 	flag.Parse()
 	if err := cliflags.CheckPositive("-peers", *peers); err != nil {
 		fail(err)
+	}
+	if err := cliflags.CheckNonNegative("-shard-size", *shardSize); err != nil {
+		fail(err)
+	}
+	if err := cliflags.CheckNonNegative("-rss-ceiling-mb", *rssCeiling); err != nil {
+		fail(err)
+	}
+	if (*sharded || *shardedOnly) && *snapFile == "" {
+		fail(fmt.Errorf("-sharded/-sharded-only need -snapshot-file"))
 	}
 
 	if *obsOverhead {
@@ -250,6 +326,35 @@ func main() {
 			"where events carry maintenance rounds and query batches, so its " +
 			"events/sec is dominated by handler work, not the queue."
 		writeReport(rep, *out)
+		return
+	}
+
+	if *shardedOnly {
+		hb, err := runShardedBench(*indexScale, *seed, *shardSize, *budget, *rssCeiling, *snapFile)
+		if err != nil {
+			fail(err)
+		}
+		rep.Sharded = hb
+		rep.Note = "sharded-only smoke: the population is built straight " +
+			"into the snapshot with the shard-and-spill pipeline (peak heap " +
+			"one shard + dictionary), restored zero-copy through the memory " +
+			"mapping and probed with real floods; peak_rss_mb is the " +
+			"process-wide VmHWM, the memory-bound evidence."
+		writeReport(rep, *out)
+		if !hb.WithinBudget {
+			fmt.Fprintf(os.Stderr, "qc-bench: sharded build+load exceeded budget (%.1fs > %.1fs)\n",
+				hb.BuildSeconds+hb.MappedLoadSeconds, hb.BudgetSeconds)
+			os.Exit(1)
+		}
+		if !hb.WithinRSSCeiling {
+			fmt.Fprintf(os.Stderr, "qc-bench: peak RSS %.0f MiB exceeds ceiling %.0f MiB\n",
+				hb.PeakRSSMB, hb.RSSCeilingMB)
+			os.Exit(1)
+		}
+		if hb.FloodResults == 0 {
+			fmt.Fprintln(os.Stderr, "qc-bench: floods over the mapped network returned no results")
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -311,7 +416,7 @@ func main() {
 		}
 	}
 
-	ib, sb, err := runIndexBench(*indexScale, *seed, *indexLegac, *budget, *benchtime, *snapFile)
+	ib, sb, err := runIndexBench(*indexScale, *seed, *indexLegac, *budget, *benchtime, *snapFile, *sharded, *shardSize)
 	if err != nil {
 		fail(err)
 	}
@@ -322,7 +427,9 @@ func main() {
 			"measured on this machine, not a benchmark mean; the load " +
 			"rebuilds derived structures (membership filters, QRP hash " +
 			"products, global term frequencies) in parallel, so with " +
-			"num_cpu=1 the reported load time is the serial worst case."
+			"num_cpu=1 the reported load time is the serial worst case. " +
+			"The mapped row restores the same file zero-copy through a " +
+			"read-only memory mapping."
 	}
 
 	writeReport(rep, *out)
@@ -335,9 +442,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qc-bench: snapshot round trip changed the index checksum")
 		os.Exit(1)
 	}
+	if sb != nil && !sb.MappedChecksumMatch {
+		fmt.Fprintln(os.Stderr, "qc-bench: mapped snapshot load changed the index checksum")
+		os.Exit(1)
+	}
+	if *sharded && sb != nil && !sb.ShardedFileMatch {
+		fmt.Fprintln(os.Stderr, "qc-bench: sharded build is not byte-identical to the in-heap save")
+		os.Exit(1)
+	}
 	if *indexOnly && sb != nil && sb.LoadSeconds > sb.BuildSeconds/10 {
 		fmt.Fprintf(os.Stderr, "qc-bench: snapshot load %.2fs exceeds a tenth of the %.2fs build\n",
 			sb.LoadSeconds, sb.BuildSeconds)
+		os.Exit(1)
+	}
+	if *indexOnly && sb != nil && sb.MappedLoadSeconds >= sb.LoadSeconds {
+		fmt.Fprintf(os.Stderr, "qc-bench: mapped load %.2fs did not beat the read-path load %.2fs\n",
+			sb.MappedLoadSeconds, sb.LoadSeconds)
 		os.Exit(1)
 	}
 }
@@ -493,8 +613,11 @@ func heapUsed() uint64 {
 // heap-in-use around each phase, and optionally the legacy string index
 // built from the same catalog plus a match micro-benchmark down both paths.
 // With a non-empty snapFile it also rounds the network through a snapshot
-// (save, stat, load, checksum) and returns that leg as a SnapshotBench.
-func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, benchtime time.Duration, snapFile string) (*IndexBench, *SnapshotBench, error) {
+// (save, stat, load, checksum — copying and memory-mapped) and returns
+// that leg as a SnapshotBench; withSharded additionally reruns the whole
+// construction through the shard-and-spill pipeline and byte-compares the
+// two files.
+func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, benchtime time.Duration, snapFile string, withSharded bool, shardSize int) (*IndexBench, *SnapshotBench, error) {
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
 		return nil, nil, err
@@ -661,11 +784,185 @@ func runIndexBench(scaleName string, seed uint64, withLegacy bool, budget, bench
 		return nil, nil, err
 	}
 	sb.ChecksumMatch = gotSum == wantSum
+	restored = nil
+	runtime.GC() // release the copying restore before the mapped leg
 	fmt.Fprintf(os.Stderr, "qc-bench: snapshot save %.2fs, load %.2fs (%.1fx faster than the %.2fs build), %.1f MiB file, arena %.1f MiB vs %.1f MiB flat (%.2fx), checksum match=%v\n",
 		sb.SaveSeconds, sb.LoadSeconds, sb.LoadSpeedup, sb.BuildSeconds,
 		float64(sb.FileBytes)/(1<<20), float64(sb.ArenaBytes)/(1<<20),
 		float64(sb.FlatPostingBytes)/(1<<20), sb.ArenaCompression, sb.ChecksumMatch)
+
+	// Mapped leg: the same file, restored zero-copy.
+	t0 = time.Now()
+	mapped, err := snapshot.LoadMapped(snapFile, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb.MappedLoadSeconds = time.Since(t0).Seconds()
+	if sb.MappedLoadSeconds > 0 {
+		sb.MappedSpeedupVsLoad = sb.LoadSeconds / sb.MappedLoadSeconds
+	}
+	mappedSum, err := mapped.IndexChecksum()
+	if err != nil {
+		return nil, nil, err
+	}
+	sb.MappedChecksumMatch = mappedSum == wantSum
+	if err := mapped.Close(); err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: mapped load %.2fs (%.1fx faster than the %.2fs read-path load), checksum match=%v\n",
+		sb.MappedLoadSeconds, sb.MappedSpeedupVsLoad, sb.LoadSeconds, sb.MappedChecksumMatch)
+
+	// Sharded identity leg: the same configuration built straight to disk
+	// must reproduce the in-heap save bit for bit.
+	if withSharded {
+		sb.ShardSize = shardSize
+		shardPath := snapFile + ".sharded"
+		t0 = time.Now()
+		sstats, err := snapshot.BuildSharded(shardPath, snapshot.BuildConfig{
+			Catalog:   ccfg,
+			Network:   gcfg,
+			ShardSize: shardSize,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sb.ShardedBuildSeconds = time.Since(t0).Seconds()
+		wantHash, err := fileSHA256(snapFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		gotHash, err := fileSHA256(shardPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sb.ShardedFileMatch = gotHash == wantHash && sstats.FileBytes == sb.FileBytes
+		os.Remove(shardPath)
+		fmt.Fprintf(os.Stderr, "qc-bench: sharded build %.2fs (%d shards of %d peers), file match=%v\n",
+			sb.ShardedBuildSeconds, sstats.Shards, sstats.ShardSize, sb.ShardedFileMatch)
+	}
 	return ib, sb, nil
+}
+
+// runShardedBench is the -sharded-only smoke: shard-and-spill the whole
+// population straight into snapFile, restore it zero-copy through the
+// memory mapping, probe it with floods, and record peak RSS.
+func runShardedBench(scaleName string, seed uint64, shardSize int, budget time.Duration, rssCeilingMB int, snapFile string) (*ShardedBench, error) {
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	par := experiments.ParamsFor(scale)
+	hb := &ShardedBench{
+		Scale: scaleName, Peers: par.GnutellaPeers, Objects: par.UniqueObjects,
+		WithinBudget: true, WithinRSSCeiling: true,
+	}
+	gcfg := gnet.DefaultConfig(seed)
+	gcfg.FirewalledFrac = par.FirewalledFrac
+	fmt.Fprintf(os.Stderr, "qc-bench: sharded-only build, scale %s (%d peers, %d objects), shard size %d\n",
+		scaleName, par.GnutellaPeers, par.UniqueObjects, shardSize)
+	t0 := time.Now()
+	stats, err := snapshot.BuildSharded(snapFile, snapshot.BuildConfig{
+		Catalog: catalog.Config{
+			Seed: seed, Peers: par.GnutellaPeers, UniqueObjects: par.UniqueObjects,
+			ReplicaAlpha: 2.45, VariantProb: 0.08, NonSpecificPeerFrac: 0.05,
+		},
+		Network:   gcfg,
+		ShardSize: shardSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hb.BuildSeconds = time.Since(t0).Seconds()
+	hb.Placements = stats.Placements
+	hb.ShardSize = stats.ShardSize
+	hb.Shards = stats.Shards
+	hb.DictTerms = stats.DictTerms
+	hb.FileBytes = stats.FileBytes
+	fmt.Fprintf(os.Stderr, "qc-bench: sharded build %.1fs, %d shards of %d peers, %d placements, %.1f MiB file\n",
+		hb.BuildSeconds, hb.Shards, hb.ShardSize, hb.Placements, float64(hb.FileBytes)/(1<<20))
+
+	t0 = time.Now()
+	nw, err := snapshot.LoadMapped(snapFile, 0)
+	if err != nil {
+		return nil, err
+	}
+	hb.MappedLoadSeconds = time.Since(t0).Seconds()
+	sum, err := nw.IndexChecksum()
+	if err != nil {
+		return nil, err
+	}
+	hb.IndexChecksum = fmt.Sprintf("%x", sum)
+	// Flood probe: real queries over the mapped substrate. Origins and
+	// criteria are drawn deterministically from the restored libraries.
+	ctx := nw.NewFloodCtx()
+	for trial := 0; trial < 8; trial++ {
+		origin := trial * (len(nw.Peers)/8 + 1) % len(nw.Peers)
+		criteria := ""
+		for _, p := range nw.Peers[origin:] {
+			if len(p.Library) > 0 {
+				criteria = p.Library[trial%len(p.Library)].Name
+				break
+			}
+		}
+		res, err := ctx.Flood(origin, criteria, 4, rng.New(uint64(trial)))
+		if err != nil {
+			return nil, err
+		}
+		hb.FloodPeersReached += res.PeersReached
+		hb.FloodResults += res.TotalResults
+	}
+	if err := nw.Close(); err != nil {
+		return nil, err
+	}
+	hb.PeakRSSMB = float64(peakRSSBytes()) / (1 << 20)
+	if budget > 0 {
+		hb.BudgetSeconds = budget.Seconds()
+		hb.WithinBudget = hb.BuildSeconds+hb.MappedLoadSeconds <= hb.BudgetSeconds
+	}
+	if rssCeilingMB > 0 {
+		hb.RSSCeilingMB = float64(rssCeilingMB)
+		hb.WithinRSSCeiling = hb.PeakRSSMB <= hb.RSSCeilingMB
+	}
+	fmt.Fprintf(os.Stderr, "qc-bench: mapped load %.1fs, checksum %s, floods reached %d peers with %d results, peak RSS %.0f MiB\n",
+		hb.MappedLoadSeconds, hb.IndexChecksum, hb.FloodPeersReached, hb.FloodResults, hb.PeakRSSMB)
+	return hb, nil
+}
+
+// peakRSSBytes reads the process high-water resident set (VmHWM) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func peakRSSBytes() uint64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		rest, ok := strings.CutPrefix(line, "VmHWM:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) >= 1 {
+			if kb, err := strconv.ParseUint(fields[0], 10, 64); err == nil {
+				return kb * 1024
+			}
+		}
+	}
+	return 0
+}
+
+// fileSHA256 streams a file through SHA-256 (the files compared here are
+// GiB-sized at paper scale; no need to hold both in memory).
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, bufio.NewReaderSize(f, 1<<20)); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 
 // runBench adapts testing.Benchmark to a FloodBench row.

@@ -63,6 +63,9 @@ func main() {
 	if err := cliflags.CheckWorkers(*workers); err != nil {
 		fail(err)
 	}
+	if err := snapFlags.Check(); err != nil {
+		fail(err)
+	}
 	if err := cliflags.CheckPositive("-peers", *peers); err != nil {
 		fail(err)
 	}
@@ -137,11 +140,13 @@ func main() {
 			PeerDepart:     *faultDepart,
 			MessageLoss:    *faultLoss,
 		},
-		MaxAttempts:  *attempts,
-		Obs:          reg,
-		FloodTraces:  traces,
-		SnapshotSave: snapFlags.Save,
-		SnapshotLoad: snapFlags.Load,
+		MaxAttempts:       *attempts,
+		Obs:               reg,
+		FloodTraces:       traces,
+		SnapshotSave:      snapFlags.Save,
+		SnapshotLoad:      snapFlags.Load,
+		SnapshotMmap:      snapFlags.Mmap,
+		SnapshotShardSize: snapFlags.ShardSize,
 	})
 	if err != nil {
 		fail(err)

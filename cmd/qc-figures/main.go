@@ -38,6 +38,9 @@ func main() {
 	if err := cliflags.CheckWorkers(*workers); err != nil {
 		fail(err)
 	}
+	if err := snapFlags.Check(); err != nil {
+		fail(err)
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}
@@ -53,6 +56,7 @@ func main() {
 	env := qc.NewEnv(scale, *seed)
 	env.Workers = *workers
 	env.SnapshotSave, env.SnapshotLoad = snapFlags.Save, snapFlags.Load
+	env.SnapshotMmap, env.SnapshotShardSize = snapFlags.Mmap, snapFlags.ShardSize
 	env.Obs, env.FloodTraces = obsFlags.Setup()
 	if env.Obs != nil {
 		parallel.Instrument(env.Obs)

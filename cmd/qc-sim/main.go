@@ -12,6 +12,8 @@
 //	qc-sim -mode churn-repair -scale tiny
 //	qc-sim -mode recovery -scale tiny -burst-frac 0.3
 //	qc-sim -mode fig8 -metrics            # also write out/RUN_qc-sim_fig8_*.json
+//	qc-sim -mode synopsis -snapshot-save out/net.qcsnap        # persist the substrate
+//	qc-sim -mode synopsis -snapshot-load out/net.qcsnap -mmap  # zero-copy restore
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 		shedPolicy   = flag.String("shed-policy", "all", "saturation arms: all, or one of unbounded|drop-tail|red|ttl (run against the unbounded baseline)")
 		profiles     = cliflags.AddProfiles(flag.CommandLine)
 		obsFlags     = cliflags.AddObs(flag.CommandLine, "qc-sim")
+		snapFlags    = cliflags.AddSnapshot(flag.CommandLine)
 	)
 	flag.Parse()
 	scale, err := qc.ParseScale(*scaleName)
@@ -69,6 +72,15 @@ func main() {
 		"all", "unbounded", "drop-tail", "red", "ttl"); err != nil {
 		fail(err)
 	}
+	if err := snapFlags.Check(); err != nil {
+		fail(err)
+	}
+	// Snapshots persist the calibrated Gnutella population built by
+	// Env.ObjectTrace; the overlay-simulation modes construct their own
+	// (differently seeded) networks and would silently ignore the flags.
+	if (snapFlags.Save != "" || snapFlags.Load != "") && *mode != "synopsis" {
+		fail(fmt.Errorf("-snapshot-save/-snapshot-load only apply to modes built on the crawled Gnutella population (synopsis); -mode %s builds its own network", *mode))
+	}
 	finishProfiles, err := profiling.Start(profiles.CPU, profiles.Mem)
 	if err != nil {
 		fail(err)
@@ -80,6 +92,8 @@ func main() {
 	}()
 	env := qc.NewEnv(scale, *seed)
 	env.Workers = *workers
+	env.SnapshotSave, env.SnapshotLoad = snapFlags.Save, snapFlags.Load
+	env.SnapshotMmap, env.SnapshotShardSize = snapFlags.Mmap, snapFlags.ShardSize
 	env.Obs, env.FloodTraces = obsFlags.Setup()
 	if env.Obs != nil {
 		parallel.Instrument(env.Obs)

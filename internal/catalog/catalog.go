@@ -75,6 +75,16 @@ type Catalog struct {
 	TotalPlacements int
 }
 
+// Sink receives the population as Stream generates it. Object (optional)
+// is called once per distinct object in ID order; Place (required) once
+// per (peer, shared name) placement in emission order — for a given peer
+// that order is exactly the peer's library order. A non-nil error from
+// Place aborts the stream.
+type Sink struct {
+	Object func(id int, name string, replicas int)
+	Place  func(peer int, name string) error
+}
+
 // Build constructs the population for cfg. Identical configs build
 // identical catalogs. Canonical name generation fans out over GOMAXPROCS
 // workers; see BuildWorkers.
@@ -83,26 +93,59 @@ func Build(cfg Config) (*Catalog, error) {
 }
 
 // BuildWorkers is Build with an explicit worker bound for the parallel
-// phase. Only canonical name generation is parallelized — namegen.Canonical
-// is a pure function of (seed, objID), drawn on its own derived stream — so
-// the catalog is byte-identical for every worker count. Replica counts,
-// placements and name variants stay on shared sequential named streams;
-// reordering those draws would change the population.
+// phase. It materializes the population Stream emits, so the two are
+// draw-for-draw identical by construction.
 func BuildWorkers(cfg Config, workers int) (*Catalog, error) {
+	c := &Catalog{Config: cfg}
+	if cfg.UniqueObjects > 0 {
+		c.Objects = make([]Object, cfg.UniqueObjects)
+	}
+	if cfg.Peers > 0 {
+		c.Libraries = make([][]string, cfg.Peers)
+	}
+	var err error
+	c.TotalPlacements, err = Stream(cfg, workers, Sink{
+		Object: func(id int, name string, replicas int) {
+			c.Objects[id] = Object{ID: id, Name: name, Replicas: replicas}
+		},
+		Place: func(peer int, name string) error {
+			c.Libraries[peer] = append(c.Libraries[peer], name)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stream generates the population of cfg and hands it to sink without
+// retaining it: peak memory is one chunk of canonical names plus the
+// generator state, independent of UniqueObjects. It returns the total
+// placement count. Only canonical name generation is parallelized —
+// namegen.Canonical is a pure function of (seed, objID), drawn on its own
+// derived stream — so the emission is byte-identical for every worker
+// count. Replica counts, placements and name variants stay on shared
+// sequential named streams; reordering those draws would change the
+// population.
+func Stream(cfg Config, workers int, sink Sink) (int, error) {
+	if sink.Place == nil {
+		return 0, fmt.Errorf("catalog: Stream needs a Place sink")
+	}
 	if cfg.Peers <= 0 {
-		return nil, fmt.Errorf("catalog: Peers must be positive, got %d", cfg.Peers)
+		return 0, fmt.Errorf("catalog: Peers must be positive, got %d", cfg.Peers)
 	}
 	if cfg.UniqueObjects <= 0 {
-		return nil, fmt.Errorf("catalog: UniqueObjects must be positive, got %d", cfg.UniqueObjects)
+		return 0, fmt.Errorf("catalog: UniqueObjects must be positive, got %d", cfg.UniqueObjects)
 	}
 	if cfg.ReplicaAlpha <= 1 {
-		return nil, fmt.Errorf("catalog: ReplicaAlpha must exceed 1, got %g", cfg.ReplicaAlpha)
+		return 0, fmt.Errorf("catalog: ReplicaAlpha must exceed 1, got %g", cfg.ReplicaAlpha)
 	}
 	if cfg.VariantProb < 0 || cfg.VariantProb > 1 {
-		return nil, fmt.Errorf("catalog: VariantProb out of range: %g", cfg.VariantProb)
+		return 0, fmt.Errorf("catalog: VariantProb out of range: %g", cfg.VariantProb)
 	}
 	if cfg.NonSpecificPeerFrac < 0 || cfg.NonSpecificPeerFrac > 1 {
-		return nil, fmt.Errorf("catalog: NonSpecificPeerFrac out of range: %g", cfg.NonSpecificPeerFrac)
+		return 0, fmt.Errorf("catalog: NonSpecificPeerFrac out of range: %g", cfg.NonSpecificPeerFrac)
 	}
 	maxRep := cfg.MaxReplicas
 	if maxRep <= 0 {
@@ -121,7 +164,7 @@ func BuildWorkers(cfg Config, workers int) (*Catalog, error) {
 	}
 	voc, err := vocab.New(vcfg)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	ncfg := cfg.NameGen
 	if ncfg == (namegen.Config{}) {
@@ -129,19 +172,15 @@ func BuildWorkers(cfg Config, workers int) (*Catalog, error) {
 	}
 	gen, err := namegen.New(voc, ncfg, cfg.Seed)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 
 	// Replica counts: P(k) ∝ k^-α over k in 1..maxRep. A zipf.Dist over
 	// "ranks" 1..maxRep with exponent α is exactly this distribution.
 	repDist, err := zipf.New(maxRep, cfg.ReplicaAlpha)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-
-	c := &Catalog{Config: cfg}
-	c.Objects = make([]Object, cfg.UniqueObjects)
-	c.Libraries = make([][]string, cfg.Peers)
 
 	repRNG := rng.NewNamed(cfg.Seed, "catalog/replicas")
 	placeRNG := rng.NewNamed(cfg.Seed, "catalog/placement")
@@ -160,39 +199,53 @@ func BuildWorkers(cfg Config, workers int) (*Catalog, error) {
 		cum[i] = total
 	}
 
-	// Canonical names first: each is generated from a per-object derived
-	// stream, so chunks are independent. This is the dominant cost of a
-	// paper-scale build (8.1M objects) and the only phase safe to fan out.
-	names := make([]string, cfg.UniqueObjects)
-	const chunk = 1024
-	nChunks := (cfg.UniqueObjects + chunk - 1) / chunk
-	if err := parallel.ForEach(workers, nChunks, func(ci int) error {
-		lo := ci * chunk
-		hi := lo + chunk
-		if hi > cfg.UniqueObjects {
-			hi = cfg.UniqueObjects
-		}
-		for i := lo; i < hi; i++ {
-			names[i] = gen.Canonical(i)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	for i := range c.Objects {
-		k := repDist.Sample(repRNG)
-		name := names[i]
-		c.Objects[i] = Object{ID: i, Name: name, Replicas: k}
-		for _, p := range samplePeers(placeRNG, cum, k) {
-			shared := name
-			// The first replica keeps the canonical name; later replicas
-			// may be perturbed copies.
-			if cfg.VariantProb > 0 && varRNG.Bool(cfg.VariantProb) {
-				shared = gen.Variant(name, varRNG)
+	// Canonical names are generated a bounded chunk at a time: each comes
+	// from a per-object derived stream, so inner sub-chunks are independent
+	// and safe to fan out. Generation is the dominant cost of a paper-scale
+	// build (8.1M objects); chunking keeps only nameChunk names resident,
+	// which is what lets the sharded snapshot builder stream arbitrarily
+	// large populations.
+	const (
+		nameChunk = 1 << 16
+		subChunk  = 1024
+	)
+	names := make([]string, 0, min(nameChunk, cfg.UniqueObjects))
+	placed := 0
+	for base := 0; base < cfg.UniqueObjects; base += nameChunk {
+		hi := min(base+nameChunk, cfg.UniqueObjects)
+		names = names[:hi-base]
+		nSub := (len(names) + subChunk - 1) / subChunk
+		if err := parallel.ForEach(workers, nSub, func(ci int) error {
+			lo := ci * subChunk
+			end := min(lo+subChunk, len(names))
+			for i := lo; i < end; i++ {
+				names[i] = gen.Canonical(base + i)
 			}
-			c.Libraries[p] = append(c.Libraries[p], shared)
-			c.TotalPlacements++
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+
+		// Placement draws are strictly sequential across chunks: one shared
+		// stream each for replica counts, peer choices and name variants.
+		for i := base; i < hi; i++ {
+			k := repDist.Sample(repRNG)
+			name := names[i-base]
+			if sink.Object != nil {
+				sink.Object(i, name, k)
+			}
+			for _, p := range samplePeers(placeRNG, cum, k) {
+				shared := name
+				// The first replica keeps the canonical name; later replicas
+				// may be perturbed copies.
+				if cfg.VariantProb > 0 && varRNG.Bool(cfg.VariantProb) {
+					shared = gen.Variant(name, varRNG)
+				}
+				if err := sink.Place(p, shared); err != nil {
+					return 0, err
+				}
+				placed++
+			}
 		}
 	}
 
@@ -202,13 +255,15 @@ func BuildWorkers(cfg Config, workers int) (*Catalog, error) {
 		for _, name := range namegen.NonSpecificNames {
 			for p := 0; p < cfg.Peers; p++ {
 				if nsRNG.Bool(cfg.NonSpecificPeerFrac) {
-					c.Libraries[p] = append(c.Libraries[p], name)
-					c.TotalPlacements++
+					if err := sink.Place(p, name); err != nil {
+						return 0, err
+					}
+					placed++
 				}
 			}
 		}
 	}
-	return c, nil
+	return placed, nil
 }
 
 // sizedVocab scales the vocabulary with the object population so that name

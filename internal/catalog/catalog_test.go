@@ -236,3 +236,66 @@ func BenchmarkBuild(b *testing.B) {
 		}
 	}
 }
+
+// TestStreamMatchesBuild pins the Sink contract the sharded snapshot
+// builder depends on: Stream emits exactly Build's population — the same
+// objects in ID order and, per peer, placements in exactly library order —
+// at every worker count.
+func TestStreamMatchesBuild(t *testing.T) {
+	cfg := smallConfig(7)
+	want, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		objs := 0
+		libs := make([][]string, cfg.Peers)
+		placed, err := Stream(cfg, workers, Sink{
+			Object: func(id int, name string, replicas int) {
+				if o := want.Objects[id]; o.Name != name || o.Replicas != replicas {
+					t.Fatalf("workers=%d: object %d = (%q, %d), Build has (%q, %d)",
+						workers, id, name, replicas, o.Name, o.Replicas)
+				}
+				objs++
+			},
+			Place: func(peer int, name string) error {
+				libs[peer] = append(libs[peer], name)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if placed != want.TotalPlacements {
+			t.Fatalf("workers=%d: %d placements, Build counted %d", workers, placed, want.TotalPlacements)
+		}
+		if objs != len(want.Objects) {
+			t.Fatalf("workers=%d: Object called %d times for %d objects", workers, objs, len(want.Objects))
+		}
+		for p := range libs {
+			if len(libs[p]) != len(want.Libraries[p]) {
+				t.Fatalf("workers=%d: peer %d has %d names, Build has %d",
+					workers, p, len(libs[p]), len(want.Libraries[p]))
+			}
+			for i := range libs[p] {
+				if libs[p][i] != want.Libraries[p][i] {
+					t.Fatalf("workers=%d: peer %d name %d = %q, Build has %q",
+						workers, p, i, libs[p][i], want.Libraries[p][i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamValidation: Stream (not just Build) must reject a nil Place
+// sink and bad configs before doing any work.
+func TestStreamValidation(t *testing.T) {
+	if _, err := Stream(smallConfig(1), 0, Sink{}); err == nil {
+		t.Fatal("Stream accepted a nil Place sink")
+	}
+	bad := smallConfig(1)
+	bad.Peers = 0
+	if _, err := Stream(bad, 0, Sink{Place: func(int, string) error { return nil }}); err == nil {
+		t.Fatal("Stream accepted zero peers")
+	}
+}

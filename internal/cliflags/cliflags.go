@@ -22,7 +22,7 @@ import (
 
 // AddScale registers the shared -scale flag with the given default.
 func AddScale(fs *flag.FlagSet, def string) *string {
-	return fs.String("scale", def, "population scale (tiny|small|default|full)")
+	return fs.String("scale", def, "population scale (tiny|small|default|full|1m)")
 }
 
 // AddSeed registers the shared -seed flag.
@@ -42,14 +42,43 @@ type SnapshotFlags struct {
 	// instead of rebuilding it (empty: build fresh).
 	Save string
 	Load string
+	// Mmap restores via a zero-copy read-only memory mapping instead of
+	// copying the snapshot onto the heap (v2 snapshots; v1 files fall back
+	// to the copying loader). Only meaningful with Load.
+	Mmap bool
+	// ShardSize, when positive with Save (and no Load), builds the
+	// population shard-by-shard directly into the snapshot file instead of
+	// materializing it in memory first; peak memory is one shard plus the
+	// shared dictionary and the result is byte-identical.
+	ShardSize int
 }
 
-// AddSnapshot registers the shared -snapshot-save/-snapshot-load flags.
+// AddSnapshot registers the shared -snapshot-save/-snapshot-load flags
+// plus their -mmap/-shard-size modifiers.
 func AddSnapshot(fs *flag.FlagSet) *SnapshotFlags {
 	s := &SnapshotFlags{}
 	fs.StringVar(&s.Save, "snapshot-save", "", "persist the built Gnutella population to this snapshot file")
 	fs.StringVar(&s.Load, "snapshot-load", "", "restore the Gnutella population from this snapshot file instead of rebuilding it (byte-identical results, ~10x faster)")
+	fs.BoolVar(&s.Mmap, "mmap", false, "with -snapshot-load: map the snapshot read-only and serve file names and posting arenas zero-copy from the mapping")
+	fs.IntVar(&s.ShardSize, "shard-size", 0, "with -snapshot-save: build the population in shards of this many peers, spilling each to the snapshot as it completes (0 = in-memory build; output is byte-identical)")
 	return s
+}
+
+// Check validates the flag combination after parsing.
+func (s *SnapshotFlags) Check() error {
+	if s.ShardSize < 0 {
+		return fmt.Errorf("-shard-size must be >= 0, got %d", s.ShardSize)
+	}
+	if s.Mmap && s.Load == "" {
+		return fmt.Errorf("-mmap needs -snapshot-load")
+	}
+	if s.ShardSize > 0 && s.Save == "" {
+		return fmt.Errorf("-shard-size needs -snapshot-save")
+	}
+	if s.ShardSize > 0 && s.Load != "" {
+		return fmt.Errorf("-shard-size builds a new snapshot and cannot be combined with -snapshot-load")
+	}
+	return nil
 }
 
 // Profiles holds the shared profiling flag values.

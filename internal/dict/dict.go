@@ -95,16 +95,26 @@ func Build(libraries [][]string, workers int) *Dict {
 			union[tok] = struct{}{}
 		}
 	}
-	sorted := make([]string, 0, len(union))
+	return FromTokenSet(union, workers)
+}
+
+// FromTokenSet builds the dictionary over an already-accumulated token
+// set — the streaming construction path, where tokens are collected while
+// libraries are spilled to disk rather than held in memory. The result is
+// byte-identical to Build over any libraries whose tokens union to this
+// set, because IDs are assigned in sorted term order either way.
+func FromTokenSet(tokens map[string]struct{}, workers int) *Dict {
+	workers = parallel.Workers(workers)
+	sorted := make([]string, 0, len(tokens))
 	var total int
-	for tok := range union {
+	for tok := range tokens {
 		sorted = append(sorted, tok)
 		total += len(tok)
 	}
 	sort.Strings(sorted)
-	// Spill the sorted terms into the arena; the shard sets, the union and
-	// the sorted string headers are all transient — after Build returns
-	// (and a GC), the dictionary retains only arena + offsets + map.
+	// Spill the sorted terms into the arena; the token set and the sorted
+	// string headers are all transient — after the build returns (and a
+	// GC), the dictionary retains only arena + offsets + map.
 	d := &Dict{
 		termBytes: make([]byte, 0, total),
 		termOff:   make([]uint32, 1, len(sorted)+1),

@@ -25,12 +25,17 @@ import (
 // Scale selects experiment sizing.
 type Scale int
 
-// Scales from smoke-test to paper-scale.
+// Scales from smoke-test to paper-scale and beyond.
 const (
 	ScaleTiny  Scale = iota // CI smoke tests, < 1 s total
 	ScaleSmall              // seconds
 	ScaleDefault
 	ScaleFull // paper-scale populations; needs minutes and several GB
+	// Scale1M is a million-peer overlay sharing the paper's 8.1M-object
+	// population — the substrate-stress scale. Building it in memory is out
+	// of reach on small boxes; it exists for the sharded snapshot builder
+	// and mmap loading (qc-bench -sharded-only, make scale1m-smoke).
+	Scale1M
 )
 
 // String names the scale.
@@ -44,6 +49,8 @@ func (s Scale) String() string {
 		return "default"
 	case ScaleFull:
 		return "full"
+	case Scale1M:
+		return "1m"
 	default:
 		return fmt.Sprintf("Scale(%d)", int(s))
 	}
@@ -60,8 +67,10 @@ func ParseScale(s string) (Scale, error) {
 		return ScaleDefault, nil
 	case "full":
 		return ScaleFull, nil
+	case "1m":
+		return Scale1M, nil
 	}
-	return 0, fmt.Errorf("experiments: unknown scale %q (tiny|small|default|full)", s)
+	return 0, fmt.Errorf("experiments: unknown scale %q (tiny|small|default|full|1m)", s)
 }
 
 // Params are the size knobs derived from a Scale.
@@ -103,6 +112,16 @@ func ParamsFor(s Scale) Params {
 	case ScaleFull:
 		return Params{
 			GnutellaPeers: 37572, UniqueObjects: 8100000, FirewalledFrac: 0.1,
+			Shares: 620, UniqueSongs: 171068,
+			Queries: 2500000, TraceDuration: 7 * 24 * 3600,
+			SimNodes: 40000, SimTrials: 2000,
+		}
+	case Scale1M:
+		// A 27× larger overlay over the paper's object population: content
+		// density per peer drops accordingly (the interesting pressure at
+		// this scale is substrate size, not per-peer library depth).
+		return Params{
+			GnutellaPeers: 1000000, UniqueObjects: 8100000, FirewalledFrac: 0.1,
 			Shares: 620, UniqueSongs: 171068,
 			Queries: 2500000, TraceDuration: 7 * 24 * 3600,
 			SimNodes: 40000, SimTrials: 2000,
@@ -157,6 +176,16 @@ type Env struct {
 	SnapshotLoad string
 	SnapshotSave string
 
+	// SnapshotMmap restores SnapshotLoad through a read-only memory mapping
+	// (zero-copy file names and posting arenas); version-1 snapshots fall
+	// back to the copying loader transparently.
+	SnapshotMmap bool
+	// SnapshotShardSize, when positive with SnapshotSave (and no
+	// SnapshotLoad), builds the population shard-by-shard straight into the
+	// snapshot file — peak memory one shard plus the dictionary — and then
+	// loads the network back from that byte-identical file.
+	SnapshotShardSize int
+
 	mu        sync.Mutex
 	objTrace  *trace.ObjectTrace
 	objStats  *crawler.Stats
@@ -173,6 +202,20 @@ func NewEnv(scale Scale, seed uint64) *Env {
 
 // workers resolves the environment's worker bound.
 func (e *Env) workers() int { return parallel.Workers(e.Workers) }
+
+// catalogConfig is the one content-population recipe every build path
+// (in-heap, sharded, snapshot round trips) derives from, so they all draw
+// the identical catalog.
+func (e *Env) catalogConfig() catalog.Config {
+	return catalog.Config{
+		Seed:                e.Seed,
+		Peers:               e.P.GnutellaPeers,
+		UniqueObjects:       e.P.UniqueObjects,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	}
+}
 
 // instrumentNetwork attaches the environment's observability plane to a
 // network the environment (or a runner) has built. Safe with a nil Obs.
@@ -198,24 +241,47 @@ func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
 		return e.objTrace, e.objStats, nil
 	}
 	var nw *gnet.Network
-	if e.SnapshotLoad != "" {
+	saved := false
+	switch {
+	case e.SnapshotLoad != "":
 		stop := e.Obs.StartPhase("env/snapshot-load")
 		var err error
-		nw, err = snapshot.Load(e.SnapshotLoad, e.Workers)
+		if e.SnapshotMmap {
+			nw, _, err = snapshot.LoadPreferMapped(e.SnapshotLoad, e.Workers)
+		} else {
+			nw, err = snapshot.Load(e.SnapshotLoad, e.Workers)
+		}
 		stop()
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: loading snapshot: %w", err)
 		}
-	} else {
+	case e.SnapshotShardSize > 0 && e.SnapshotSave != "":
+		// Shard-and-spill: the population goes straight to disk, then the
+		// network comes back from the (byte-identical) snapshot — the whole
+		// substrate is never resident during construction.
+		gcfg := gnet.DefaultConfig(e.Seed)
+		gcfg.FirewalledFrac = e.P.FirewalledFrac
+		stop := e.Obs.StartPhase("env/snapshot-build-sharded")
+		_, err := snapshot.BuildSharded(e.SnapshotSave, snapshot.BuildConfig{
+			Catalog:   e.catalogConfig(),
+			Network:   gcfg,
+			Workers:   e.Workers,
+			ShardSize: e.SnapshotShardSize,
+		})
+		stop()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: sharded snapshot build: %w", err)
+		}
+		saved = true
+		stop = e.Obs.StartPhase("env/snapshot-load")
+		nw, err = snapshot.Load(e.SnapshotSave, e.Workers)
+		stop()
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: loading sharded snapshot: %w", err)
+		}
+	default:
 		stop := e.Obs.StartPhase("env/catalog")
-		cat, err := catalog.BuildWorkers(catalog.Config{
-			Seed:                e.Seed,
-			Peers:               e.P.GnutellaPeers,
-			UniqueObjects:       e.P.UniqueObjects,
-			ReplicaAlpha:        2.45,
-			VariantProb:         0.08,
-			NonSpecificPeerFrac: 0.05,
-		}, e.Workers)
+		cat, err := catalog.BuildWorkers(e.catalogConfig(), e.Workers)
 		stop()
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: building catalog: %w", err)
@@ -229,7 +295,7 @@ func (e *Env) ObjectTrace() (*trace.ObjectTrace, *crawler.Stats, error) {
 			return nil, nil, fmt.Errorf("experiments: building network: %w", err)
 		}
 	}
-	if e.SnapshotSave != "" {
+	if e.SnapshotSave != "" && !saved {
 		stop := e.Obs.StartPhase("env/snapshot-save")
 		_, err := snapshot.Save(e.SnapshotSave, nw, e.Workers)
 		stop()

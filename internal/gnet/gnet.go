@@ -12,6 +12,7 @@ package gnet
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -126,6 +127,33 @@ type Network struct {
 	// obs is the attached observability plane; nil (the default) records
 	// nothing and costs one pointer check per flood (see Instrument).
 	obs *netObs
+
+	// backing pins the storage a mapped-snapshot network borrows its bytes
+	// from (file names, posting arenas, skip arrays point into it); nil for
+	// heap-built networks. borrowed records that state for diagnostics.
+	// Mutating operations never write through the views — neighbor lists
+	// and libraries are freshly allocated heap arenas, and index rebuilds
+	// replace the postingIndex wholesale — so a borrowed network needs no
+	// other special casing (see NewFromState).
+	backing  io.Closer
+	borrowed bool
+}
+
+// Borrowed reports whether the network's file names and posting arenas
+// are zero-copy views of a snapshot mapping rather than heap copies.
+func (nw *Network) Borrowed() bool { return nw.borrowed }
+
+// Close releases the snapshot mapping backing a network restored with
+// snapshot.LoadMapped. After Close every borrowed view (file names,
+// posting arenas) is invalid; drop the network. Close is idempotent and a
+// no-op for heap-backed networks.
+func (nw *Network) Close() error {
+	b := nw.backing
+	nw.backing = nil
+	if b == nil {
+		return nil
+	}
+	return b.Close()
 }
 
 // EnableQRP builds a QRP table for every leaf from its shared library, as
@@ -248,13 +276,13 @@ func NewFromCatalogWorkers(cfg Config, cat *catalog.Catalog, workers int) (*Netw
 	if err != nil {
 		return nil, err
 	}
-	sizeRNG := rng.NewNamed(cfg.Seed, "gnet/file-sizes")
+	sizeRNG := NewFileSizeRNG(cfg.Seed)
 	for p, lib := range cat.Libraries {
 		files := make([]File, len(lib))
 		for i, name := range lib {
 			files[i] = File{
 				Index: uint32(i),
-				Size:  uint32(1<<20 + sizeRNG.Intn(7<<20)), // 1–8 MB
+				Size:  DrawFileSize(sizeRNG),
 				Name:  name,
 			}
 		}
@@ -265,6 +293,19 @@ func NewFromCatalogWorkers(cfg Config, cat *catalog.Catalog, workers int) (*Netw
 		p.dict = nw.dict
 	}
 	return nw, nil
+}
+
+// NewFileSizeRNG returns the named stream file sizes are drawn from: one
+// sequential stream consumed in global peer order, then library order.
+// The sharded snapshot builder draws from the same stream in the same
+// order, which is what keeps its libraries byte-identical to this path's.
+func NewFileSizeRNG(seed uint64) *rng.Source {
+	return rng.NewNamed(seed, "gnet/file-sizes")
+}
+
+// DrawFileSize draws the next synthetic file size (1–8 MB) from r.
+func DrawFileSize(r *rng.Source) uint32 {
+	return uint32(1<<20 + r.Intn(7<<20))
 }
 
 // addrFor derives a deterministic synthetic address for peer id.

@@ -2,6 +2,7 @@ package gnet
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"sort"
 
@@ -84,7 +85,7 @@ func (ix *postingIndex) buildFilter() {
 		ix.fbits++
 	}
 	ix.filter = make([]uint64, 1<<ix.fbits/64)
-	ix.forEach(func(id dict.TermID, _ postingsRef) {
+	ix.forEachTermID(func(id dict.TermID) {
 		h := uint32(id) * 2654435761 >> (32 - ix.fbits)
 		ix.filter[h>>6] |= 1 << (h & 63)
 	})
@@ -229,6 +230,32 @@ func (ix *postingIndex) forEach(fn func(id dict.TermID, ref postingsRef)) {
 			for j := uint64(0); j < cnt; j++ {
 				p = p[vpost.SkipUvarint(p):]
 			}
+		}
+	}
+}
+
+// forEachTermID calls fn for every term in ascending TermID order without
+// touching posting payloads: each block's offset bounds its id-delta
+// section, so the payload bytes that dominate the arena are never decoded
+// or skipped varint by varint. This is what keeps the snapshot-restore
+// filter rebuild cheap — at paper scale the arenas hold 118M posting
+// varints but only ~7M id deltas.
+func (ix *postingIndex) forEachTermID(fn func(id dict.TermID)) {
+	for b := range ix.blockFirst {
+		n := ix.nTerms - b*postingBlockLen
+		if n > postingBlockLen {
+			n = postingBlockLen
+		}
+		buf := ix.arena[ix.blockOff[b]:]
+		idLen := int(buf[0])
+		ids := buf[blockHeaderLen : blockHeaderLen+idLen]
+		cur := ix.blockFirst[b]
+		fn(cur)
+		for k := 1; k < n; k++ {
+			d, dn := vpost.Uvarint(ids)
+			ids = ids[dn:]
+			cur += dict.TermID(d)
+			fn(cur)
 		}
 	}
 }
@@ -382,6 +409,32 @@ func encodePostings(pairs []termFile, bs *buildScratch) postingIndex {
 		ix.blockOff = append(make([]uint32, 0, len(off)), off...)
 	}
 	return ix
+}
+
+// IndexBuilder builds standalone per-peer posting indexes against a
+// shared dictionary — the sharded snapshot construction path, which
+// indexes peers without ever assembling a Network. The zero value is
+// ready; reuse one builder per worker so the construction scratch
+// amortizes across thousands of peers.
+type IndexBuilder struct {
+	bs buildScratch
+}
+
+// Build indexes lib against d and returns the encoded index in its
+// persistence form (identical bytes to what BuildIndexes produces for the
+// same library and dictionary). Unlike the in-network path there is no
+// local-dictionary fallback: the sharded builder derives its dictionary
+// from the same stream that produced lib, so an unknown token means the
+// inputs diverged and is reported as an error.
+func (b *IndexBuilder) Build(d *dict.Dict, lib []File) (IndexState, error) {
+	idx, ok := buildPostings(d, lib, &b.bs)
+	if !ok {
+		return IndexState{}, fmt.Errorf("gnet: IndexBuilder: library holds a token the shared dictionary does not")
+	}
+	return IndexState{
+		NTerms: idx.nTerms, NPostings: idx.nPostings,
+		BlockFirst: idx.blockFirst, BlockOff: idx.blockOff, Arena: idx.arena,
+	}, nil
 }
 
 // libraryNames projects a library onto its file names.

@@ -2,9 +2,11 @@ package gnet
 
 import (
 	"fmt"
+	"io"
 
 	"querycentric/internal/dict"
 	"querycentric/internal/gmsg"
+	"querycentric/internal/parallel"
 )
 
 // IndexState is the persistable form of one peer's compressed posting
@@ -41,6 +43,15 @@ type NetworkState struct {
 	Peers      []PeerState
 	DictBytes  []byte   // concatenated term bytes, ID order
 	DictOff    []uint32 // TermID → DictBytes offset; len = terms+1
+
+	// Borrowed marks a state whose byte slices (file names, posting
+	// arenas, skip arrays, dictionary arena) are zero-copy views of an
+	// external mapping rather than heap memory; Backing, when non-nil, is
+	// that mapping and is adopted by NewFromState so Network.Close can
+	// release it. The loader guarantees the views are never written: all
+	// mutable structures built over them are fresh heap allocations.
+	Borrowed bool
+	Backing  io.Closer
 }
 
 // ExportState builds every index (if not already built) and returns the
@@ -110,12 +121,16 @@ func NewFromState(st *NetworkState, workers int) (*Network, error) {
 		Peers:      make([]*Peer, n),
 		firewalled: st.Firewalled,
 		dict:       d,
+		backing:    st.Backing,
+		borrowed:   st.Borrowed,
 	}
-	for i := range st.Peers {
+	// Per-peer restoration is pure (validation, wiring, filter rebuild from
+	// the peer's own arena), so it fans out without affecting the result.
+	if err := parallel.ForEach(workers, n, func(i int) error {
 		ps := &st.Peers[i]
 		nBlocks := (ps.Index.NTerms + postingBlockLen - 1) / postingBlockLen
 		if len(ps.Index.BlockFirst) != nBlocks || len(ps.Index.BlockOff) != nBlocks {
-			return nil, fmt.Errorf("gnet: NewFromState: peer %d index has %d/%d blocks for %d terms",
+			return fmt.Errorf("gnet: NewFromState: peer %d index has %d/%d blocks for %d terms",
 				i, len(ps.Index.BlockFirst), len(ps.Index.BlockOff), ps.Index.NTerms)
 		}
 		p := &Peer{
@@ -139,6 +154,9 @@ func NewFromState(st *NetworkState, workers int) (*Network, error) {
 		// never rebuild. Burn the once so the lazy path stays cold.
 		p.indexOnce.Do(func() {})
 		nw.Peers[i] = p
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	nw.buildTermDF(workers)
 	return nw, nil

@@ -10,13 +10,16 @@ import (
 	"querycentric/internal/gnet"
 )
 
-// FuzzSnapshotLoad asserts Load's contract over arbitrary bytes: every
-// input yields either one of the package's typed sentinel errors or a
-// fingerprint-verified network — never a panic, never an untyped failure,
-// and never a "valid" network from damaged bytes (the trailing SHA-256
-// makes any mutation loud). Seeded with a real snapshot of a small
-// catalog-backed network plus the classic traps: empty file, bare magic,
-// bumped version, truncated and bit-flipped variants.
+// FuzzSnapshotLoad asserts the loaders' contract over arbitrary bytes:
+// every input yields either one of the package's typed sentinel errors or
+// a fingerprint-verified network — never a panic, never an untyped
+// failure, and never a "valid" network from damaged bytes (v1's trailing
+// SHA-256 and v2's per-section digests make any mutation loud). Both the
+// copying Load and the zero-copy LoadMapped run over every input; mapped
+// networks additionally survive a flood-path probe before their mapping is
+// released. Seeded with real v2 and v1 snapshots of a small catalog-backed
+// network plus the classic traps: empty file, bare magic, bumped version,
+// truncated and bit-flipped variants.
 func FuzzSnapshotLoad(f *testing.F) {
 	cat, err := catalog.Build(catalog.Config{
 		Seed: 11, Peers: 12, UniqueObjects: 48, ReplicaAlpha: 2.45,
@@ -47,6 +50,39 @@ func FuzzSnapshotLoad(f *testing.F) {
 	flipped := append([]byte(nil), seed...)
 	flipped[len(flipped)/2] ^= 0x40
 	f.Add(flipped)
+	// A genuine version-1 file: the compatibility decoder must keep reading
+	// it and LoadMapped must keep refusing it, whatever the fuzzer grows
+	// from it.
+	st, err := nw.ExportState()
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1path := filepath.Join(f.TempDir(), "seed_v1.qcsnap")
+	v1f, err := os.Create(v1path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := writeSnapshotV1(v1f, st); err != nil {
+		f.Fatal(err)
+	}
+	if err := v1f.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seedV1, err := os.ReadFile(v1path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedV1)
+	f.Add(seedV1[:len(seedV1)/2])
+
+	typed := func(err error) bool {
+		for _, sentinel := range []error{ErrFormat, ErrVersion, ErrTruncated, ErrCorrupt, ErrFingerprint} {
+			if errors.Is(err, sentinel) {
+				return true
+			}
+		}
+		return false
+	}
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p := filepath.Join(t.TempDir(), "fuzz.qcsnap")
@@ -55,17 +91,32 @@ func FuzzSnapshotLoad(f *testing.F) {
 		}
 		got, err := Load(p, 0)
 		if err != nil {
-			for _, sentinel := range []error{ErrFormat, ErrVersion, ErrTruncated, ErrCorrupt, ErrFingerprint} {
-				if errors.Is(err, sentinel) {
-					return
-				}
+			if !typed(err) {
+				t.Fatalf("Load returned an untyped error: %v", err)
 			}
-			t.Fatalf("Load returned an untyped error: %v", err)
-		}
-		// Only a fingerprint-clean file gets here; the network must be
-		// fully usable.
-		if got == nil || len(got.Peers) == 0 {
+		} else if got == nil || len(got.Peers) == 0 {
+			// Only a fingerprint-clean file gets here; the network must be
+			// fully usable.
 			t.Fatalf("Load returned nil error but unusable network %v", got)
+		}
+
+		m, err := LoadMapped(p, 0)
+		if err != nil {
+			if !typed(err) {
+				t.Fatalf("LoadMapped returned an untyped error: %v", err)
+			}
+			return
+		}
+		if m == nil || len(m.Peers) == 0 || !m.Borrowed() {
+			t.Fatalf("LoadMapped returned nil error but unusable network %v", m)
+		}
+		// Touch the borrowed views before unmapping: a bounds bug in the
+		// zero-copy parse would fault here, inside the test.
+		if _, err := m.IndexChecksum(); err != nil {
+			t.Fatalf("mapped network is not usable: %v", err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
 		}
 	})
 }

@@ -1,0 +1,28 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a wired mmap falls back to reading the file
+// into one heap buffer: LoadMapped keeps its contract (views into a single
+// backing block, explicit Close) without the zero-copy benefit.
+func mapFile(path string) ([]byte, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	data, err := readFileBytes(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nopCloser{}, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

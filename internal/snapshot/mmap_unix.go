@@ -1,0 +1,56 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"io"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the mapped bytes plus the closer
+// that releases the mapping. The mapping is private: even a stray write
+// through an unsafe view could never reach the file.
+func mapFile(path string) ([]byte, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		// mmap rejects empty ranges; an empty view fails parsing the same
+		// way an empty file would.
+		return nil, nopCloser{}, nil
+	}
+	if size > math.MaxInt-1 {
+		return nil, nil, ErrCorrupt
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, &mapping{b: data}, nil
+}
+
+// mapping unmaps its range on Close (idempotently). After Close every view
+// into the mapped bytes is invalid.
+type mapping struct{ b []byte }
+
+func (m *mapping) Close() error {
+	b := m.b
+	m.b = nil
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

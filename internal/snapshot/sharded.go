@@ -1,0 +1,343 @@
+// Shard-and-spill snapshot construction: build a paper-scale (or larger)
+// network substrate directly into a version-2 snapshot file while holding
+// only one bounded shard of peers in memory.
+//
+// The in-heap pipeline (catalog → network → indexes → Save) materializes
+// every library string and posting arena before the first byte is written:
+// ~2.3 GB of heap at the paper's 37,572-peer scale, and far past this
+// box's budget at a million peers. BuildSharded reorders the work so peak
+// memory is O(one shard + the shared dictionary):
+//
+//  1. Topology skeleton. gnet.New draws identities, the firewalled mask
+//     and the overlay from the same named streams as the in-heap path.
+//  2. Placement pass. catalog.Stream generates the content population
+//     without retaining it; each (peer, name) placement is appended to its
+//     shard's spill bucket (varint peer, varint length, name bytes) while
+//     the global token set and per-peer file counts accumulate.
+//  3. The dictionary is built from the token set — byte-identical to the
+//     in-heap dict because IDs are assigned in sorted term order — and the
+//     meta, dict and topology sections stream out. The skeleton is then
+//     released.
+//  4. Shard pass, ascending. Each bucket is read back, its libraries are
+//     rebuilt (names are zero-copy views of the bucket buffer, sizes come
+//     off the one sequential gnet/file-sizes stream, which ascending order
+//     keeps in global peer order), posting indexes are built in parallel,
+//     and the peers' library rows stream into the libraries section while
+//     their index rows spill to one side file — the indexes section's
+//     header needs totals the pass is still accumulating.
+//  5. The side file is replayed through the writer as the indexes section,
+//     the directory is patched, and the file renames into place.
+//
+// Every row goes through the same append encoders Save uses and every
+// random draw comes off the same named stream in the same order, so the
+// output is byte-for-byte the file Save would have produced from the
+// in-heap build — at any worker count and any shard size.
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"querycentric/internal/catalog"
+	"querycentric/internal/dict"
+	"querycentric/internal/gmsg"
+	"querycentric/internal/gnet"
+	"querycentric/internal/parallel"
+	"querycentric/internal/terms"
+	"querycentric/internal/vpost"
+)
+
+// DefaultShardSize is the peers-per-shard bound when BuildConfig leaves
+// ShardSize zero.
+const DefaultShardSize = 65536
+
+// maxShards bounds the number of spill buckets (each holds an open file
+// descriptor for the duration of the placement pass). Smaller requested
+// shard sizes are rounded up to keep within it.
+const maxShards = 512
+
+// BuildConfig configures a sharded snapshot build.
+type BuildConfig struct {
+	Catalog catalog.Config // content population; Peers fixes the network size
+	Network gnet.Config    // overlay topology
+	Workers int            // parallelism bound; ≤ 0 means GOMAXPROCS
+	// ShardSize is the number of peers whose libraries and indexes are
+	// resident at once. Zero means DefaultShardSize; values that would
+	// need more than maxShards buckets are rounded up.
+	ShardSize int
+	// TmpDir holds the spill files; empty means the output file's
+	// directory (same filesystem as the snapshot, like the .tmp rename).
+	TmpDir string
+}
+
+// BuildStats reports what a sharded build produced.
+type BuildStats struct {
+	Peers      int
+	Placements int   // total (peer, name) placements = total library files
+	Shards     int   // bucket count actually used
+	ShardSize  int   // effective peers per shard after clamping
+	DictTerms  int   // distinct terms in the shared dictionary
+	FileBytes  int64 // final snapshot size
+}
+
+// BuildSharded builds the network of cfg directly into a version-2
+// snapshot at path without ever holding the whole substrate in memory.
+// The file is written to path+".tmp" and renamed into place on success.
+// The output is byte-identical to Save over the equivalent in-heap build
+// (catalog.Build → gnet.NewFromCatalog → Save).
+func BuildSharded(path string, cfg BuildConfig) (*BuildStats, error) {
+	n := cfg.Catalog.Peers
+	if n <= 0 {
+		return nil, fmt.Errorf("snapshot: BuildSharded: catalog has no peers")
+	}
+	shardSize := cfg.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	if minSize := (n + maxShards - 1) / maxShards; shardSize < minSize {
+		shardSize = minSize
+	}
+	if shardSize > n {
+		shardSize = n
+	}
+	nShards := (n + shardSize - 1) / shardSize
+	tmpDir := cfg.TmpDir
+	if tmpDir == "" {
+		tmpDir = filepath.Dir(path)
+	}
+
+	// Topology skeleton: identities, firewalled mask, overlay — no content.
+	nw, err := gnet.New(cfg.Network, n)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: BuildSharded: %w", err)
+	}
+	netCfg := nw.Config // normalized (degree defaults applied)
+
+	var cleanup []func()
+	defer func() {
+		for _, f := range cleanup {
+			f()
+		}
+	}()
+
+	// Placement pass: spill every placement to its shard's bucket while the
+	// token set and per-peer file counts accumulate.
+	buckets := make([]*spillFile, nShards)
+	for s := range buckets {
+		b, err := newSpillFile(tmpDir, "qcsnap-bucket-*")
+		if err != nil {
+			return nil, err
+		}
+		buckets[s] = b
+		cleanup = append(cleanup, b.discard)
+	}
+	tokens := make(map[string]struct{})
+	counts := make([]int32, n)
+	var rec []byte
+	placed, err := catalog.Stream(cfg.Catalog, cfg.Workers, catalog.Sink{
+		Place: func(peer int, name string) error {
+			for _, tok := range terms.Tokenize(name) {
+				if _, dup := tokens[tok]; !dup {
+					// Clone: Tokenize returns substrings of a transient
+					// lowered copy of the name (same rule as dict.Build).
+					tokens[strings.Clone(tok)] = struct{}{}
+				}
+			}
+			counts[peer]++
+			rec = vpost.AppendUvarint(rec[:0], uint64(peer))
+			rec = vpost.AppendUvarint(rec, uint64(len(name)))
+			rec = append(rec, name...)
+			_, err := buckets[peer/shardSize].bw.Write(rec)
+			return err
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: BuildSharded: %w", err)
+	}
+
+	d := dict.FromTokenSet(tokens, cfg.Workers)
+	tokens = nil
+
+	out, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	cleanup = append(cleanup, func() {
+		if out != nil {
+			out.Close()
+			os.Remove(path + ".tmp")
+		}
+	})
+	w, err := NewWriter(out)
+	if err != nil {
+		return nil, err
+	}
+	writeMetaSection(w, netCfg, n)
+	db, do := d.Raw()
+	writeDictSection(w, db, do)
+	writeTopologySection(w, topoSource{
+		NPeers:     n,
+		Firewalled: nw.Firewalled,
+		Ultrapeer:  func(i int) bool { return nw.Peers[i].Ultrapeer },
+		GUID:       func(i int) gmsg.GUID { return nw.Peers[i].ServentID },
+		Neighbors:  func(i int) []int { return nw.Peers[i].Neighbors },
+	})
+	nw = nil // topology is on disk; drop the skeleton before the shard pass
+
+	side, err := newSpillFile(tmpDir, "qcsnap-indexes-*")
+	if err != nil {
+		return nil, err
+	}
+	cleanup = append(cleanup, side.discard)
+
+	writeLibrariesHeader(w, n, placed)
+	sizeRNG := gnet.NewFileSizeRNG(netCfg.Seed)
+	var totalBlocks, totalArena int64
+	var row []byte
+	for s := 0; s < nShards; s++ {
+		lo := s * shardSize
+		hi := min(lo+shardSize, n)
+		data, err := buckets[s].consume()
+		buckets[s] = nil
+		if err != nil {
+			return nil, err
+		}
+		// Rebuild the shard's libraries from its bucket: records arrive in
+		// placement order, which per peer is exactly library order. Names
+		// are views of the bucket buffer — alive for this shard only.
+		libs := make([][]gnet.File, hi-lo)
+		for i := range libs {
+			libs[i] = make([]gnet.File, 0, counts[lo+i])
+		}
+		for len(data) > 0 {
+			peer, k := vpost.Uvarint(data)
+			if k <= 0 || peer < uint64(lo) || peer >= uint64(hi) {
+				return nil, fmt.Errorf("snapshot: BuildSharded: bucket %d holds a record for peer %d", s, peer)
+			}
+			data = data[k:]
+			nameLen, k := vpost.Uvarint(data)
+			if k <= 0 || nameLen > uint64(len(data)-k) {
+				return nil, fmt.Errorf("snapshot: BuildSharded: bucket %d record truncated", s)
+			}
+			name := unsafeString(data[k : k+int(nameLen) : k+int(nameLen)])
+			data = data[k+int(nameLen):]
+			p := int(peer) - lo
+			libs[p] = append(libs[p], gnet.File{Index: uint32(len(libs[p])), Name: name})
+		}
+		// File sizes come off the one sequential global stream: ascending
+		// shard order makes these draws identical to the in-heap build's.
+		for i := range libs {
+			for j := range libs[i] {
+				libs[i][j].Size = gnet.DrawFileSize(sizeRNG)
+			}
+		}
+		states := make([]gnet.IndexState, hi-lo)
+		if err := parallel.ForEachWith(cfg.Workers, hi-lo,
+			func() *gnet.IndexBuilder { return new(gnet.IndexBuilder) },
+			func(b *gnet.IndexBuilder, i int) error {
+				st, err := b.Build(d, libs[i])
+				if err != nil {
+					return err
+				}
+				states[i] = st
+				return nil
+			}); err != nil {
+			return nil, fmt.Errorf("snapshot: BuildSharded: %w", err)
+		}
+		for i := range libs {
+			row = appendLibraryRow(row[:0], libs[i])
+			w.Write(row)
+			row = appendIndexRow(row[:0], &states[i])
+			if _, err := side.bw.Write(row); err != nil {
+				return nil, err
+			}
+			totalBlocks += int64(len(states[i].BlockFirst))
+			totalArena += int64(len(states[i].Arena))
+		}
+	}
+	w.EndSection()
+
+	// Replay the spilled index rows as the final section, now that the
+	// header's totals are known. The writer hashes them as they pass.
+	writeIndexesHeader(w, n, totalBlocks, totalArena)
+	if err := side.replay(w); err != nil {
+		return nil, err
+	}
+	w.EndSection()
+	size, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	f := out
+	out = nil // cleanup must not remove the file we are about to rename
+	if err := f.Close(); err != nil {
+		os.Remove(path + ".tmp")
+		return nil, err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		os.Remove(path + ".tmp")
+		return nil, err
+	}
+	return &BuildStats{
+		Peers:      n,
+		Placements: placed,
+		Shards:     nShards,
+		ShardSize:  shardSize,
+		DictTerms:  d.Len(),
+		FileBytes:  size,
+	}, nil
+}
+
+// spillFile is an unlinked-on-cleanup buffered temp file: written once
+// front to back, then either consumed whole (buckets) or replayed into the
+// snapshot writer (the index side file).
+type spillFile struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func newSpillFile(dir, pattern string) (*spillFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &spillFile{f: f, bw: bufio.NewWriterSize(f, 1<<18)}, nil
+}
+
+// consume flushes, reads the whole file back and removes it.
+func (s *spillFile) consume() ([]byte, error) {
+	if err := s.bw.Flush(); err != nil {
+		s.discard()
+		return nil, err
+	}
+	data, err := readFileBytes(s.f)
+	s.discard()
+	return data, err
+}
+
+// replay flushes and copies the file's bytes into w.
+func (s *spillFile) replay(w io.Writer) error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	_, err := io.Copy(w, bufio.NewReaderSize(s.f, 1<<20))
+	return err
+}
+
+// discard closes and deletes the file (idempotent).
+func (s *spillFile) discard() {
+	if s.f == nil {
+		return
+	}
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+	s.f = nil
+}

@@ -12,26 +12,29 @@
 // term-frequency table). A restored network floods, crawls and serves
 // byte-identically to the one it was exported from.
 //
-// # File format (version 1)
+// # File formats
+//
+// This build writes format version 2 — an aligned, per-section-hashed
+// layout designed for zero-copy mmap loading (see v2.go for the layout and
+// the streaming Writer the sharded builder uses). Version-1 files, the
+// varint-framed format earlier builds wrote, are still read by Load via
+// the original copying decoder:
 //
 //	"QCSNAP"  6-byte magic
-//	u16le     format version
+//	u16le     format version (1)
 //	u8        section count
 //	sections  each: [u8 kind][u64le payload length][payload]
 //	          kinds, in required order: meta, dict, topology,
 //	          libraries, indexes
 //	32 bytes  SHA-256 over everything above (magic through last section)
 //
-// Integer fields inside payloads are unsigned LEB128 varints unless noted;
-// posting arenas and the dictionary's term arena are stored as raw bytes,
-// exactly as held in memory. The trailing fingerprint follows the same
-// shadow-view discipline as obs.Manifest: Load hashes every byte it reads
-// and refuses to return a network unless the digest matches, so silent
-// corruption (truncation, bit rot, concurrent rewrite) is always loud.
-// Every failure mode has a typed sentinel error: ErrFormat for foreign
-// files, ErrVersion for snapshots written by a different format revision,
-// ErrTruncated for short files, ErrCorrupt for structural damage and
-// ErrFingerprint for content damage.
+// Both formats refuse to return a network over damaged bytes: v1 hashes
+// the whole file against its trailer, v2 verifies each section against its
+// directory digest before decoding it. Every failure mode has a typed
+// sentinel error: ErrFormat for foreign files, ErrVersion for snapshots
+// written by an unreadable format revision, ErrTruncated for short files,
+// ErrCorrupt for structural damage and ErrFingerprint for content damage
+// (v2 hash mismatches match both ErrFingerprint and ErrCorrupt).
 package snapshot
 
 import (
@@ -52,8 +55,9 @@ import (
 	"querycentric/internal/vpost"
 )
 
-// Version is the snapshot format revision this build reads and writes.
-const Version = 1
+// Version is the snapshot format revision this build writes. Load also
+// reads version-1 files; LoadMapped requires version 2.
+const Version = 2
 
 // magic identifies a snapshot file.
 const magic = "QCSNAP"
@@ -103,7 +107,7 @@ func Save(path string, nw *gnet.Network, workers int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := writeSnapshot(f, st)
+	n, err := writeSnapshotV2(f, st)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -118,18 +122,39 @@ func Save(path string, nw *gnet.Network, workers int) (int64, error) {
 	return n, nil
 }
 
-// Load reads a snapshot and reconstructs the network. The whole file is
-// hashed while it is parsed; no network is returned unless the trailing
-// fingerprint matches. Derived structures (membership filters, QRP
-// products, global term frequencies) are rebuilt over up to `workers`
-// goroutines.
+// Load reads a snapshot and reconstructs the network, copying everything
+// onto the heap. Both format versions are accepted: version-2 files are
+// read whole and verified section by section, version-1 files go through
+// the original streaming decoder and whole-file fingerprint. No network is
+// returned over bytes that fail verification. Derived structures
+// (membership filters, QRP products, global term frequencies) are rebuilt
+// over up to `workers` goroutines.
 func Load(path string, workers int) (*gnet.Network, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	st, err := readSnapshot(bufio.NewReaderSize(f, 1<<20))
+	v, err := sniffVersion(f)
+	if err != nil {
+		return nil, err
+	}
+	var st *gnet.NetworkState
+	switch v {
+	case 1:
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		st, err = readSnapshotV1(bufio.NewReaderSize(f, 1<<20))
+	case Version:
+		var data []byte
+		data, err = readFileBytes(f)
+		if err == nil {
+			st, err = parseV2(data)
+		}
+	default:
+		err = fmt.Errorf("%w: file has version %d, this build reads 1 and %d", ErrVersion, v, Version)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -140,15 +165,76 @@ func Load(path string, workers int) (*gnet.Network, error) {
 	return nw, nil
 }
 
-// writeSnapshot encodes st. Each section is encoded twice: once against a
-// counting sink to learn its payload length, then for real — sections can
-// be streamed with exact length prefixes and no whole-section buffering.
-func writeSnapshot(f io.Writer, st *gnet.NetworkState) (int64, error) {
+// LoadMapped reconstructs a network over a read-only memory mapping of a
+// version-2 snapshot: file names, posting arenas, skip arrays and the
+// dictionary arena stay views into the mapping (zero-copy; the kernel
+// pages them in on demand), while mutable and derived structures are built
+// fresh on the heap. The returned network owns the mapping — call its
+// Close when done with it; until then the views must outlive any use.
+// Version-1 files cannot be mapped (nothing in them is aligned) and return
+// ErrVersion; callers that want transparent fallback use LoadPreferMapped.
+func LoadMapped(path string, workers int) (*gnet.Network, error) {
+	data, backing, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := parseV2(data)
+	if err != nil {
+		backing.Close()
+		if errors.Is(err, ErrVersion) {
+			return nil, fmt.Errorf("%w (LoadMapped reads only version %d; use Load)", err, Version)
+		}
+		return nil, err
+	}
+	st.Borrowed = true
+	st.Backing = backing
+	nw, err := gnet.NewFromState(st, workers)
+	if err != nil {
+		backing.Close()
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nw, nil
+}
+
+// LoadPreferMapped loads path via LoadMapped when the file's format
+// supports it, falling back to the copying Load for version-1 files.
+// mapped reports which path produced the network.
+func LoadPreferMapped(path string, workers int) (nw *gnet.Network, mapped bool, err error) {
+	nw, err = LoadMapped(path, workers)
+	if err == nil {
+		return nw, true, nil
+	}
+	if !errors.Is(err, ErrVersion) {
+		return nil, false, err
+	}
+	nw, err = Load(path, workers)
+	return nw, false, err
+}
+
+// sniffVersion reads the magic and version from the header shared by both
+// formats (the first 9 bytes are layout-compatible).
+func sniffVersion(f *os.File) (uint16, error) {
+	var head [9]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, fmt.Errorf("%w (%v)", ErrTruncated, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return 0, fmt.Errorf("%w (bad magic %q)", ErrFormat, head[:len(magic)])
+	}
+	return binary.LittleEndian.Uint16(head[len(magic):]), nil
+}
+
+// writeSnapshotV1 encodes st in the legacy version-1 framing (retained so
+// tests can produce v1 files and pin the compatibility path). Each section
+// is encoded twice: once against a counting sink to learn its payload
+// length, then for real — sections can be streamed with exact length
+// prefixes and no whole-section buffering.
+func writeSnapshotV1(f io.Writer, st *gnet.NetworkState) (int64, error) {
 	h := sha256.New()
 	bw := bufio.NewWriterSize(f, 1<<20)
 	w := &writer{w: io.MultiWriter(bw, h)}
 	w.bytes([]byte(magic))
-	w.u16(Version)
+	w.u16(1)
 	w.u8(numSections)
 	sections := []struct {
 		kind byte
@@ -187,9 +273,9 @@ func writeSnapshot(f io.Writer, st *gnet.NetworkState) (int64, error) {
 	return w.n + sha256.Size, nil
 }
 
-// readSnapshot decodes a snapshot into a NetworkState, verifying the
-// trailing fingerprint before returning.
-func readSnapshot(br *bufio.Reader) (*gnet.NetworkState, error) {
+// readSnapshotV1 decodes a version-1 snapshot into a NetworkState,
+// verifying the trailing whole-file fingerprint before returning.
+func readSnapshotV1(br *bufio.Reader) (*gnet.NetworkState, error) {
 	h := sha256.New()
 	head := make([]byte, len(magic)+2+1)
 	if err := readFullHashed(br, h, head); err != nil {
@@ -198,8 +284,8 @@ func readSnapshot(br *bufio.Reader) (*gnet.NetworkState, error) {
 	if string(head[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w (bad magic %q)", ErrFormat, head[:len(magic)])
 	}
-	if v := binary.LittleEndian.Uint16(head[len(magic):]); v != Version {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
+	if v := binary.LittleEndian.Uint16(head[len(magic):]); v != 1 {
+		return nil, fmt.Errorf("%w: file has version %d, this decoder reads 1", ErrVersion, v)
 	}
 	if n := head[len(magic)+2]; n != numSections {
 		return nil, fmt.Errorf("%w: %d sections, want %d", ErrCorrupt, n, numSections)

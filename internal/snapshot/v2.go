@@ -1,0 +1,888 @@
+// Version-2 snapshot format: the mmap-ready layout.
+//
+// Version 1 framed sections with inline length prefixes and varint-packed
+// payloads, and sealed the file with one whole-file SHA-256. That shape
+// forces a copying decode: offsets arrive as deltas, u32 arrays as varints,
+// and nothing is aligned, so a loader must materialize every array on the
+// heap. Version 2 keeps the same five sections and the same byte-exact
+// content but lays them out for zero-copy loading:
+//
+//	offset 0    "QCSNAP" magic (6), u16le version = 2, u8 section count,
+//	            7 zero bytes of padding            — 16-byte header
+//	offset 16   directory: 5 × 56-byte entries
+//	            [u8 kind][7 zero][u64le payload offset][u64le payload
+//	            length][32-byte SHA-256 of the payload]
+//	offset 296  32-byte SHA-256 over bytes [0, 296) — seals header + directory
+//	offset 328  8 zero bytes of padding
+//	offset 336  first section payload
+//
+// Every section payload starts on a 16-byte file offset (zero-filled gaps
+// between sections) and keeps its internal u32 arrays on 4-byte boundaries,
+// so a loader may view them in place — from a heap buffer or straight from
+// an mmap'd file — with at most an endianness/alignment fallback copy.
+// There is no whole-file trailer: each payload carries its own digest in
+// the directory, so a mapped loader verifies exactly the sections it reads
+// and never touches pages it does not need. The file must end exactly at
+// the last payload's final byte; trailing garbage is corruption.
+//
+// The writer is single-pass and streaming: sections are written front to
+// back through a small buffer while their digests accumulate, and the
+// header + directory (whose offsets, lengths and digests are only known at
+// the end) are patched into the zero-filled prelude with one WriteAt. That
+// is what lets the sharded builder emit a paper-scale snapshot while
+// holding only one shard of peers in memory.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"querycentric/internal/dict"
+	"querycentric/internal/gmsg"
+	"querycentric/internal/gnet"
+)
+
+// Fixed v2 layout offsets (see the package comment above).
+const (
+	headerLen       = 16
+	dirEntryLen     = 1 + 7 + 8 + 8 + sha256.Size // kind, pad, offset, length, digest
+	dirOff          = headerLen
+	dirHashOff      = dirOff + numSections*dirEntryLen // 296
+	preludeLen      = dirHashOff + sha256.Size         // 328
+	sectionAlign    = 16
+	firstSectionOff = (preludeLen + sectionAlign - 1) / sectionAlign * sectionAlign // 336
+)
+
+// hostLittleEndian reports whether in-place u32 views of little-endian file
+// bytes are valid on this machine.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// dirEntry is one directory slot: where a section's payload lives and what
+// it must hash to.
+type dirEntry struct {
+	kind byte
+	off  uint64
+	size uint64
+	sum  [sha256.Size]byte
+}
+
+// Writer streams a version-2 snapshot to a file: a zero-filled prelude,
+// then each section in order (BeginSection → content → EndSection), then
+// Finish, which patches the real header, directory and directory hash over
+// the prelude. Content methods are error-latched — the first failure
+// sticks and every later call is a no-op — so call sites stay linear and
+// check once.
+type Writer struct {
+	f   *os.File
+	bw  *bufio.Writer
+	h   hash.Hash
+	off int64 // absolute file offset of the next byte
+	cur int   // directory index of the open section; -1 between sections
+	n   int   // sections completed
+	dir [numSections]dirEntry
+	err error
+	buf [8]byte
+}
+
+// NewWriter starts a snapshot at f's origin. f must be empty (or about to
+// be overwritten from offset 0): the prelude is zero-filled now and
+// rewritten in place by Finish.
+func NewWriter(f *os.File) (*Writer, error) {
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<20), h: sha256.New(), cur: -1}
+	var zero [firstSectionOff]byte
+	if _, err := w.bw.Write(zero[:]); err != nil {
+		return nil, err
+	}
+	w.off = firstSectionOff
+	return w, nil
+}
+
+// BeginSection pads the file to the section alignment and opens a section
+// of the given kind. Sections must be written in kind order, meta through
+// indexes.
+func (w *Writer) BeginSection(kind byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.cur >= 0 {
+		w.err = fmt.Errorf("snapshot: BeginSection(%d) with section %d still open", kind, w.dir[w.cur].kind)
+		return w.err
+	}
+	if w.n >= numSections {
+		w.err = fmt.Errorf("snapshot: BeginSection(%d) after all %d sections", kind, numSections)
+		return w.err
+	}
+	if want := byte(secMeta + w.n); kind != want {
+		w.err = fmt.Errorf("snapshot: BeginSection(%d) out of order, want %d", kind, want)
+		return w.err
+	}
+	// The alignment gap belongs to no section: written, never hashed.
+	var zero [sectionAlign]byte
+	if pad := (-w.off) & (sectionAlign - 1); pad > 0 {
+		if _, err := w.bw.Write(zero[:pad]); err != nil {
+			w.err = err
+			return err
+		}
+		w.off += pad
+	}
+	w.h.Reset()
+	w.cur = w.n
+	w.dir[w.cur] = dirEntry{kind: kind, off: uint64(w.off)}
+	return nil
+}
+
+// EndSection closes the open section, recording its length and digest.
+func (w *Writer) EndSection() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.cur < 0 {
+		w.err = fmt.Errorf("snapshot: EndSection with no open section")
+		return w.err
+	}
+	e := &w.dir[w.cur]
+	e.size = uint64(w.off) - e.off
+	w.h.Sum(e.sum[:0])
+	w.cur = -1
+	w.n++
+	return nil
+}
+
+// Write appends raw payload bytes to the open section (io.Writer, so side
+// buffers spill in with io.Copy). Bytes are folded into the section digest
+// as they pass.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.cur < 0 {
+		w.err = fmt.Errorf("snapshot: Write outside a section")
+		return 0, w.err
+	}
+	n, err := w.bw.Write(p)
+	w.h.Write(p[:n])
+	w.off += int64(n)
+	w.err = err
+	return n, err
+}
+
+func (w *Writer) u8(v byte) {
+	w.buf[0] = v
+	w.Write(w.buf[:1])
+}
+
+func (w *Writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.Write(w.buf[:4])
+}
+
+func (w *Writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.Write(w.buf[:8])
+}
+
+// u32s writes a u32 array as little-endian bytes. On little-endian hosts
+// the slice's own bytes are written directly; elsewhere a bounded scratch
+// re-encodes, so output is identical on every machine.
+func (w *Writer) u32s(v []uint32) {
+	if len(v) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		w.Write(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+		return
+	}
+	var scratch [4 << 10]byte
+	for len(v) > 0 {
+		n := min(len(v), len(scratch)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[4*i:], v[i])
+		}
+		w.Write(scratch[:4*n])
+		v = v[n:]
+	}
+}
+
+// pad4 zero-pads the open section so the next byte lands on a 4-byte file
+// offset (section starts are 16-aligned, so file and section alignment
+// agree). The pad is part of the section: hashed, and re-checked on load.
+func (w *Writer) pad4() {
+	var zero [4]byte
+	if pad := (-w.off) & 3; pad > 0 {
+		w.Write(zero[:pad])
+	}
+}
+
+// Finish flushes the payloads and patches the header, directory and
+// directory hash over the zero prelude. Returns the file size in bytes.
+func (w *Writer) Finish() (int64, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.cur >= 0 {
+		return 0, fmt.Errorf("snapshot: Finish with section %d still open", w.dir[w.cur].kind)
+	}
+	if w.n != numSections {
+		return 0, fmt.Errorf("snapshot: Finish after %d of %d sections", w.n, numSections)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return 0, err
+	}
+	var p [firstSectionOff]byte
+	copy(p[:], magic)
+	binary.LittleEndian.PutUint16(p[len(magic):], Version)
+	p[len(magic)+2] = numSections
+	for i, e := range w.dir {
+		b := p[dirOff+i*dirEntryLen:]
+		b[0] = e.kind
+		binary.LittleEndian.PutUint64(b[8:], e.off)
+		binary.LittleEndian.PutUint64(b[16:], e.size)
+		copy(b[24:], e.sum[:])
+	}
+	sum := sha256.Sum256(p[:dirHashOff])
+	copy(p[dirHashOff:], sum[:])
+	if _, err := w.f.WriteAt(p[:], 0); err != nil {
+		return 0, err
+	}
+	return w.off, nil
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders. One encoder per section, shared verbatim by Save (which
+// walks a NetworkState) and by the sharded builder (which walks a skeleton
+// network and per-shard state): both paths emit rows through the same
+// functions, which is what makes their outputs byte-identical.
+
+// writeMetaSection: 6 × u64le — seed, float bits of UltrapeerFrac,
+// UltraDegree, FlatDegree, float bits of FirewalledFrac, peer count.
+func writeMetaSection(w *Writer, cfg gnet.Config, nPeers int) {
+	w.BeginSection(secMeta)
+	w.u64(cfg.Seed)
+	w.u64(math.Float64bits(cfg.UltrapeerFrac))
+	w.u64(uint64(cfg.UltraDegree))
+	w.u64(uint64(cfg.FlatDegree))
+	w.u64(math.Float64bits(cfg.FirewalledFrac))
+	w.u64(uint64(nPeers))
+	w.EndSection()
+}
+
+// writeDictSection: u64 term count, u64 arena length, u32 offsets
+// (count+1, raw), arena bytes.
+func writeDictSection(w *Writer, termBytes []byte, termOff []uint32) {
+	w.BeginSection(secDict)
+	w.u64(uint64(len(termOff) - 1))
+	w.u64(uint64(len(termBytes)))
+	w.u32s(termOff)
+	w.Write(termBytes)
+	w.EndSection()
+}
+
+// topoSource abstracts where topology rows come from: a NetworkState
+// (Save) or a live skeleton network (the sharded builder).
+type topoSource struct {
+	NPeers     int
+	Firewalled func(i int) bool
+	Ultrapeer  func(i int) bool
+	GUID       func(i int) gmsg.GUID
+	Neighbors  func(i int) []int
+}
+
+// writeTopologySection: u64 peer count, u64 total neighbor entries,
+// firewalled bitset, ultrapeer bitset, 16-byte GUIDs, pad to 4, u32
+// degrees, u32 neighbor IDs in per-peer list order (order is state: floods
+// forward in list order).
+func writeTopologySection(w *Writer, src topoSource) {
+	n := src.NPeers
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(src.Neighbors(i))
+	}
+	w.BeginSection(secTopology)
+	w.u64(uint64(n))
+	w.u64(uint64(total))
+	writeBitset(w, n, src.Firewalled)
+	writeBitset(w, n, src.Ultrapeer)
+	for i := 0; i < n; i++ {
+		g := src.GUID(i)
+		w.Write(g[:])
+	}
+	w.pad4()
+	for i := 0; i < n; i++ {
+		w.u32(uint32(len(src.Neighbors(i))))
+	}
+	var scratch [1024]uint32
+	for i := 0; i < n; i++ {
+		nbrs := src.Neighbors(i)
+		for len(nbrs) > 0 {
+			k := min(len(nbrs), len(scratch))
+			for j := 0; j < k; j++ {
+				scratch[j] = uint32(nbrs[j])
+			}
+			w.u32s(scratch[:k])
+			nbrs = nbrs[k:]
+		}
+	}
+	w.EndSection()
+}
+
+func writeBitset(w *Writer, n int, bit func(i int) bool) {
+	var chunk [512]byte
+	for base := 0; base < n; base += 8 * len(chunk) {
+		hi := min(base+8*len(chunk), n)
+		nb := (hi - base + 7) / 8
+		clear(chunk[:nb])
+		for i := base; i < hi; i++ {
+			if bit(i) {
+				chunk[(i-base)/8] |= 1 << (i % 8)
+			}
+		}
+		w.Write(chunk[:nb])
+	}
+}
+
+// writeLibrariesHeader opens the libraries section: u64 peer count, u64
+// total file count. Rows follow, one per peer in ID order; the caller ends
+// the section.
+func writeLibrariesHeader(w *Writer, nPeers, totalFiles int) {
+	w.BeginSection(secLibraries)
+	w.u64(uint64(nPeers))
+	w.u64(uint64(totalFiles))
+}
+
+// appendLibraryRow encodes one peer's row: u32 file count, u32 indexes,
+// u32 sizes, u32 name lengths, concatenated name bytes, pad to 4.
+// Struct-of-arrays per row so the numeric columns stay 4-aligned and
+// viewable in place. Rows are append-encoded into a caller scratch so the
+// identical bytes can go straight into the main Writer (Save) or a spill
+// file (the sharded builder).
+func appendLibraryRow(b []byte, lib []gnet.File) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(lib)))
+	for _, f := range lib {
+		b = binary.LittleEndian.AppendUint32(b, f.Index)
+	}
+	for _, f := range lib {
+		b = binary.LittleEndian.AppendUint32(b, f.Size)
+	}
+	for _, f := range lib {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Name)))
+	}
+	for _, f := range lib {
+		b = append(b, f.Name...)
+	}
+	return appendPad4(b)
+}
+
+// writeIndexesHeader opens the indexes section: u64 peer count, u64 total
+// skip blocks, u64 total arena bytes. Rows follow; the caller ends the
+// section. The totals exist so a loader can carve single arena-backed
+// allocations before walking rows — the sharded builder learns them from a
+// side spill file before the header is written.
+func writeIndexesHeader(w *Writer, nPeers int, totalBlocks, totalArena int64) {
+	w.BeginSection(secIndexes)
+	w.u64(uint64(nPeers))
+	w.u64(uint64(totalBlocks))
+	w.u64(uint64(totalArena))
+}
+
+// appendIndexRow encodes one peer's row: u32 term count, u32 posting
+// count, u32 arena length, u32 block-first term IDs, u32 block arena
+// offsets, arena bytes, pad to 4. The block count is derived from the term
+// count (16-term blocks). Append-encoded for the same reason as
+// appendLibraryRow.
+func appendIndexRow(b []byte, ix *gnet.IndexState) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(ix.NTerms))
+	b = binary.LittleEndian.AppendUint32(b, uint32(ix.NPostings))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ix.Arena)))
+	b = appendU32s(b, termIDsToU32(ix.BlockFirst))
+	b = appendU32s(b, ix.BlockOff)
+	b = append(b, ix.Arena...)
+	return appendPad4(b)
+}
+
+// appendU32s appends a u32 array as little-endian bytes (bulk on
+// little-endian hosts, element-wise elsewhere — identical output).
+func appendU32s(b []byte, v []uint32) []byte {
+	if len(v) == 0 {
+		return b
+	}
+	if hostLittleEndian {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))...)
+	}
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint32(b, x)
+	}
+	return b
+}
+
+// appendPad4 zero-pads a row buffer to a multiple of 4 bytes. Rows start
+// 4-aligned within their section (the headers are 16 or 24 bytes and every
+// row is padded), so buffer-relative and section-relative alignment agree.
+func appendPad4(b []byte) []byte {
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// termIDsToU32 views a TermID slice as its underlying u32s (TermID is a
+// defined uint32; no copy).
+func termIDsToU32(v []dict.TermID) []uint32 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&v[0])), len(v))
+}
+
+func u32ToTermIDs(v []uint32) []dict.TermID {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*dict.TermID)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// writeSnapshotV2 streams st to f in the version-2 layout. Shared by Save
+// (over a whole in-heap state); the sharded builder drives the same
+// section encoders incrementally instead.
+func writeSnapshotV2(f *os.File, st *gnet.NetworkState) (int64, error) {
+	w, err := NewWriter(f)
+	if err != nil {
+		return 0, err
+	}
+	writeMetaSection(w, st.Config, len(st.Peers))
+	writeDictSection(w, st.DictBytes, st.DictOff)
+	writeTopologySection(w, topoSource{
+		NPeers:     len(st.Peers),
+		Firewalled: func(i int) bool { return st.Firewalled[i] },
+		Ultrapeer:  func(i int) bool { return st.Peers[i].Ultrapeer },
+		GUID:       func(i int) gmsg.GUID { return st.Peers[i].ServentID },
+		Neighbors:  func(i int) []int { return st.Peers[i].Neighbors },
+	})
+	totalFiles := 0
+	var totalBlocks, totalArena int64
+	for i := range st.Peers {
+		totalFiles += len(st.Peers[i].Library)
+		totalBlocks += int64(len(st.Peers[i].Index.BlockFirst))
+		totalArena += int64(len(st.Peers[i].Index.Arena))
+	}
+	var row []byte
+	writeLibrariesHeader(w, len(st.Peers), totalFiles)
+	for i := range st.Peers {
+		row = appendLibraryRow(row[:0], st.Peers[i].Library)
+		w.Write(row)
+	}
+	w.EndSection()
+	writeIndexesHeader(w, len(st.Peers), totalBlocks, totalArena)
+	for i := range st.Peers {
+		row = appendIndexRow(row[:0], &st.Peers[i].Index)
+		w.Write(row)
+	}
+	w.EndSection()
+	return w.Finish()
+}
+
+// ---------------------------------------------------------------------------
+// Version-2 parsing. One parser serves both load paths: the copying loader
+// hands it a heap buffer holding the file, the mapped loader hands it the
+// mmap'd bytes. Each section's digest is verified right before that
+// section is decoded, so a mapped load touches pages section by section
+// and corruption is reported against the section that carries it.
+
+// parseV2 decodes data (a complete version-2 file) into a NetworkState
+// whose slices view data in place wherever alignment allows.
+func parseV2(data []byte) (*gnet.NetworkState, error) {
+	if len(data) < firstSectionOff {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold a v2 prelude", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w (bad magic %q)", ErrFormat, data[:len(magic)])
+	}
+	if v := binary.LittleEndian.Uint16(data[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: file has version %d, this parser reads %d", ErrVersion, v, Version)
+	}
+	if n := data[len(magic)+2]; n != numSections {
+		return nil, fmt.Errorf("%w: %d sections, want %d", ErrCorrupt, n, numSections)
+	}
+	// The directory hash seals the header and every directory entry; all
+	// later bounds can trust what the directory says.
+	sum := sha256.Sum256(data[:dirHashOff])
+	if !bytes.Equal(sum[:], data[dirHashOff:preludeLen]) {
+		return nil, fmt.Errorf("%w: directory carries %x, hashes to %x (%w)",
+			ErrFingerprint, data[dirHashOff:dirHashOff+8], sum[:8], ErrCorrupt)
+	}
+	var dir [numSections]dirEntry
+	end := uint64(firstSectionOff)
+	for i := range dir {
+		b := data[dirOff+i*dirEntryLen:]
+		dir[i] = dirEntry{kind: b[0], off: binary.LittleEndian.Uint64(b[8:]), size: binary.LittleEndian.Uint64(b[16:])}
+		copy(dir[i].sum[:], b[24:])
+		e := &dir[i]
+		if e.kind != byte(secMeta+i) {
+			return nil, fmt.Errorf("%w: directory entry %d has kind %d", ErrCorrupt, i, e.kind)
+		}
+		if e.off%sectionAlign != 0 || e.off < end || e.off-end >= sectionAlign {
+			return nil, fmt.Errorf("%w: section %d at offset %d, previous ends at %d", ErrCorrupt, e.kind, e.off, end)
+		}
+		if e.size > uint64(len(data)) || e.off+e.size > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: section %d claims [%d, %d) of a %d-byte file",
+				ErrTruncated, e.kind, e.off, e.off+e.size, len(data))
+		}
+		end = e.off + e.size
+	}
+	if end != uint64(len(data)) {
+		return nil, fmt.Errorf("%w: %d bytes after the last section", ErrCorrupt, uint64(len(data))-end)
+	}
+	// Alignment gaps (prelude pad and inter-section pads) must be zero:
+	// they are the only bytes no digest covers.
+	if !allZero(data[preludeLen:firstSectionOff]) {
+		return nil, fmt.Errorf("%w: nonzero prelude padding", ErrCorrupt)
+	}
+	prev := uint64(firstSectionOff)
+	for i := range dir {
+		if !allZero(data[prev:dir[i].off]) {
+			return nil, fmt.Errorf("%w: nonzero padding before section %d", ErrCorrupt, dir[i].kind)
+		}
+		prev = dir[i].off + dir[i].size
+	}
+
+	st := &gnet.NetworkState{}
+	nPeers := 0
+	for i := range dir {
+		e := &dir[i]
+		payload := data[e.off : e.off+e.size : e.off+e.size]
+		sum := sha256.Sum256(payload)
+		if !bytes.Equal(sum[:], e.sum[:]) {
+			return nil, fmt.Errorf("%w: section %d carries %x, content hashes to %x (%w)",
+				ErrFingerprint, e.kind, e.sum[:8], sum[:8], ErrCorrupt)
+		}
+		r := &r2{b: payload, section: int(e.kind)}
+		switch e.kind {
+		case secMeta:
+			nPeers = decodeMetaV2(r, st)
+		case secDict:
+			decodeDictV2(r, st)
+		case secTopology:
+			decodeTopologyV2(r, st, nPeers)
+		case secLibraries:
+			decodeLibrariesV2(r, st)
+		case secIndexes:
+			decodeIndexesV2(r, st)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.pos != len(r.b) {
+			return nil, fmt.Errorf("%w: section %d has %d trailing bytes", ErrCorrupt, e.kind, len(r.b)-r.pos)
+		}
+	}
+	return st, nil
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func decodeMetaV2(r *r2, st *gnet.NetworkState) int {
+	st.Config.Seed = r.u64()
+	st.Config.UltrapeerFrac = math.Float64frombits(r.u64())
+	st.Config.UltraDegree = int(r.u64())
+	st.Config.FlatDegree = int(r.u64())
+	st.Config.FirewalledFrac = math.Float64frombits(r.u64())
+	n := r.u64()
+	const maxPeers = 1 << 28
+	if r.err == nil && n > maxPeers {
+		r.fail("peer count %d out of range", n)
+		return 0
+	}
+	return int(n)
+}
+
+func decodeDictV2(r *r2, st *gnet.NetworkState) {
+	n := r.u64()
+	arenaLen := r.u64()
+	if r.err != nil {
+		return
+	}
+	// (n+1) u32 offsets plus the arena must fit the remainder — checked by
+	// the takes themselves, but bound n first so no absurd count reaches an
+	// allocation on the copy-fallback path.
+	if n >= uint64(len(r.b))/4 {
+		r.fail("dictionary claims %d terms in a %d-byte section", n, len(r.b))
+		return
+	}
+	st.DictOff = r.u32s(int(n) + 1)
+	st.DictBytes = r.take(arenaLen)
+	if r.err == nil && uint64(st.DictOff[n]) != arenaLen {
+		r.fail("offsets end at %d, arena is %d bytes", st.DictOff[n], arenaLen)
+	}
+}
+
+func decodeTopologyV2(r *r2, st *gnet.NetworkState, nPeers int) {
+	n := r.u64()
+	total := r.u64()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(nPeers) {
+		r.fail("topology holds %d peers, meta says %d", n, nPeers)
+		return
+	}
+	bitset := uint64((nPeers + 7) / 8)
+	want := 16 + 2*bitset + 16*uint64(nPeers)
+	want = (want + 3) &^ 3
+	want += 4*uint64(nPeers) + 4*total
+	if uint64(len(r.b)) != want {
+		r.fail("%d peers / %d links need %d bytes, payload has %d", n, total, want, len(r.b))
+		return
+	}
+	fw := r.take(bitset)
+	ultra := r.take(bitset)
+	st.Firewalled = make([]bool, nPeers)
+	st.Peers = make([]gnet.PeerState, nPeers)
+	for i := range st.Firewalled {
+		st.Firewalled[i] = fw[i/8]&(1<<(i%8)) != 0
+		st.Peers[i].Ultrapeer = ultra[i/8]&(1<<(i%8)) != 0
+	}
+	for i := range st.Peers {
+		copy(st.Peers[i].ServentID[:], r.take(16))
+	}
+	r.pad4()
+	deg := r.u32s(nPeers)
+	nbr := r.u32s(int(total))
+	if r.err != nil {
+		return
+	}
+	// Neighbor lists are always heap (they are []int and mutable); one
+	// arena allocation backs all of them, capped subslices per peer.
+	arena := make([]int, total)
+	for i, v := range nbr {
+		if uint64(v) >= n {
+			r.fail("neighbor entry %d links to nonexistent peer %d", i, v)
+			return
+		}
+		arena[i] = int(v)
+	}
+	pos := 0
+	for i := range st.Peers {
+		d := int(deg[i])
+		if pos+d > len(arena) {
+			r.fail("degrees sum past the %d declared links", total)
+			return
+		}
+		st.Peers[i].Neighbors = arena[pos : pos+d : pos+d]
+		pos += d
+	}
+	if pos != len(arena) {
+		r.fail("degrees sum to %d, topology declares %d links", pos, total)
+	}
+}
+
+func decodeLibrariesV2(r *r2, st *gnet.NetworkState) {
+	n := r.u64()
+	total := r.u64()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(st.Peers)) {
+		r.fail("libraries hold %d peers, meta says %d", n, len(st.Peers))
+		return
+	}
+	if total > uint64(len(r.b))/12 { // every file costs three u32 columns
+		r.fail("%d files cannot fit a %d-byte section", total, len(r.b))
+		return
+	}
+	// One File arena backs every library; names view the payload in place.
+	arena := make([]gnet.File, total)
+	used := 0
+	for i := range st.Peers {
+		nFiles := int(r.u32())
+		if r.err != nil {
+			return
+		}
+		if nFiles > len(arena)-used {
+			r.fail("peer %d overflows the %d declared files", i, total)
+			return
+		}
+		row := arena[used : used+nFiles : used+nFiles]
+		used += nFiles
+		fidx := r.u32s(nFiles)
+		fsize := r.u32s(nFiles)
+		nameLen := r.u32s(nFiles)
+		if r.err != nil {
+			return
+		}
+		for j := range row {
+			row[j].Index = fidx[j]
+			row[j].Size = fsize[j]
+			row[j].Name = unsafeString(r.take(uint64(nameLen[j])))
+		}
+		r.pad4()
+		if r.err != nil {
+			return
+		}
+		st.Peers[i].Library = row
+	}
+	if used != len(arena) {
+		r.fail("rows hold %d files, header declares %d", used, total)
+	}
+}
+
+func decodeIndexesV2(r *r2, st *gnet.NetworkState) {
+	n := r.u64()
+	totalBlocks := r.u64()
+	totalArena := r.u64()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(st.Peers)) {
+		r.fail("indexes hold %d peers, meta says %d", n, len(st.Peers))
+		return
+	}
+	if totalBlocks > uint64(len(r.b))/8 || totalArena > uint64(len(r.b)) {
+		r.fail("%d blocks / %d arena bytes cannot fit a %d-byte section", totalBlocks, totalArena, len(r.b))
+		return
+	}
+	var blocks, arena uint64
+	for i := range st.Peers {
+		ix := &st.Peers[i].Index
+		nTerms := r.u32()
+		nPostings := r.u32()
+		arenaLen := r.u32()
+		if r.err != nil {
+			return
+		}
+		const maxTermsPerPeer = 1 << 30
+		if nTerms > maxTermsPerPeer || nPostings > math.MaxInt32 {
+			r.fail("peer %d index claims %d terms / %d postings", i, nTerms, nPostings)
+			return
+		}
+		ix.NTerms = int(nTerms)
+		ix.NPostings = int(nPostings)
+		nBlocks := (int(nTerms) + 15) / 16
+		ix.BlockFirst = u32ToTermIDs(r.u32s(nBlocks))
+		ix.BlockOff = r.u32s(nBlocks)
+		ix.Arena = r.take(uint64(arenaLen))
+		r.pad4()
+		if r.err != nil {
+			return
+		}
+		if nBlocks > 0 && uint64(ix.BlockOff[nBlocks-1]) >= uint64(arenaLen) {
+			r.fail("peer %d last block offset %d beyond %d-byte arena", i, ix.BlockOff[nBlocks-1], arenaLen)
+			return
+		}
+		blocks += uint64(nBlocks)
+		arena += uint64(arenaLen)
+	}
+	if blocks != totalBlocks || arena != totalArena {
+		r.fail("rows hold %d blocks / %d arena bytes, header declares %d / %d",
+			blocks, arena, totalBlocks, totalArena)
+	}
+}
+
+// r2 is the v2 payload cursor: positional (so padding is checkable against
+// absolute section offsets), error-latched, and zero-copy where alignment
+// and endianness allow.
+type r2 struct {
+	b       []byte
+	pos     int
+	section int
+	err     error
+}
+
+func (r *r2) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w %d: %s", ErrCorrupt, r.section, fmt.Sprintf(format, args...))
+	}
+}
+
+// take consumes n payload bytes as a zero-copy view.
+func (r *r2) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		r.fail("needs %d bytes, %d left", n, len(r.b)-r.pos)
+		return nil
+	}
+	p := r.b[r.pos : r.pos+int(n) : r.pos+int(n)]
+	r.pos += int(n)
+	return p
+}
+
+func (r *r2) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *r2) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// u32s consumes an n-entry u32 array. On little-endian hosts with the
+// expected 4-byte alignment it returns an in-place view of the payload
+// (this is the zero-copy path mapped loads live on); otherwise it decodes
+// into a fresh slice.
+func (r *r2) u32s(n int) []uint32 {
+	p := r.take(4 * uint64(n))
+	if p == nil || n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&p[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&p[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	return out
+}
+
+// pad4 consumes the zero padding that realigns the cursor to 4 bytes.
+func (r *r2) pad4() {
+	if pad := (-r.pos) & 3; pad > 0 {
+		p := r.take(uint64(pad))
+		if p != nil && !allZero(p) {
+			r.fail("nonzero row padding at %d", r.pos-pad)
+		}
+	}
+}
+
+// readFileBytes reads path fully into one heap buffer (the copying v2 load
+// path; parseV2 then views that buffer exactly as it would a mapping).
+func readFileBytes(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size > math.MaxInt-1 {
+		return nil, fmt.Errorf("%w: %d-byte file", ErrCorrupt, size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, fmt.Errorf("%w (%v)", ErrTruncated, err)
+	}
+	return data, nil
+}

@@ -65,18 +65,20 @@ type Result = experiments.Result
 // WriteResultTable renders a Result as a commented-header TSV table.
 func WriteResultTable(w io.Writer, r Result) error { return experiments.WriteTable(w, r) }
 
-// Scale selects experiment sizing (tiny/small/default/full).
+// Scale selects experiment sizing (tiny/small/default/full/1m).
 type Scale = experiments.Scale
 
-// Scales from smoke test to paper scale.
+// Scales from smoke test to paper scale and beyond (Scale1M is the
+// million-peer substrate scale served by the sharded build + mapped load).
 const (
 	ScaleTiny    = experiments.ScaleTiny
 	ScaleSmall   = experiments.ScaleSmall
 	ScaleDefault = experiments.ScaleDefault
 	ScaleFull    = experiments.ScaleFull
+	Scale1M      = experiments.Scale1M
 )
 
-// ParseScale parses "tiny", "small", "default" or "full".
+// ParseScale parses "tiny", "small", "default", "full" or "1m".
 func ParseScale(s string) (Scale, error) { return experiments.ParseScale(s) }
 
 // Env builds and memoizes the shared experiment artifacts (crawled traces,

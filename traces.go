@@ -37,10 +37,35 @@ var (
 // indexes — round-trips through a versioned, SHA-256-fingerprinted flat
 // file. Loading is an order of magnitude faster than rebuilding, and a
 // restored network behaves byte-identically to the one saved.
+//
+// LoadNetworkSnapshotMapped memory-maps a version-2 snapshot read-only and
+// serves file names and posting arenas zero-copy from the mapping (the
+// network reports Borrowed and Close releases the mapping);
+// LoadNetworkSnapshotPreferMapped falls back to the copying loader for
+// version-1 files.
 var (
-	SaveNetworkSnapshot = snapshot.Save
-	LoadNetworkSnapshot = snapshot.Load
+	SaveNetworkSnapshot             = snapshot.Save
+	LoadNetworkSnapshot             = snapshot.Load
+	LoadNetworkSnapshotMapped       = snapshot.LoadMapped
+	LoadNetworkSnapshotPreferMapped = snapshot.LoadPreferMapped
 )
+
+// Shard-and-spill snapshot construction (see internal/snapshot): build a
+// population of any size directly into a snapshot file while holding only
+// one bounded shard of peers (plus the shared dictionary) in memory. The
+// output is byte-identical to SaveNetworkSnapshot over the equivalent
+// in-heap build.
+type (
+	SnapshotBuildConfig = snapshot.BuildConfig
+	SnapshotBuildStats  = snapshot.BuildStats
+)
+
+// BuildShardedSnapshot runs a shard-and-spill build.
+var BuildShardedSnapshot = snapshot.BuildSharded
+
+// DefaultSnapshotShardSize is the peers-per-shard bound a zero
+// SnapshotBuildConfig.ShardSize resolves to.
+const DefaultSnapshotShardSize = snapshot.DefaultShardSize
 
 // SnapshotVersion is the snapshot format revision this build reads and
 // writes.
@@ -157,39 +182,69 @@ type GnutellaCrawlConfig struct {
 	// built (or restored) network to this path before the crawl runs.
 	SnapshotLoad string
 	SnapshotSave string
+	// SnapshotMmap restores SnapshotLoad through a read-only memory
+	// mapping (zero-copy; version-1 files fall back to the copying
+	// loader).
+	SnapshotMmap bool
+	// SnapshotShardSize, when positive with SnapshotSave and no
+	// SnapshotLoad, builds the population shard-by-shard directly into the
+	// snapshot file (peak memory one shard plus the dictionary), then
+	// restores the network from that byte-identical file.
+	SnapshotShardSize int
 }
 
 // GnutellaCrawl builds a calibrated content population, stands up the
 // in-process Gnutella network, runs the Cruiser-like crawler against it
 // over the real wire format, and returns the observed object trace.
 func GnutellaCrawl(cfg GnutellaCrawlConfig) (*ObjectTrace, *CrawlStats, error) {
+	ccat := catalog.Config{
+		Seed:                cfg.Seed,
+		Peers:               cfg.Peers,
+		UniqueObjects:       cfg.UniqueObjects,
+		ReplicaAlpha:        2.45,
+		VariantProb:         0.08,
+		NonSpecificPeerFrac: 0.05,
+	}
+	gcfg := gnet.DefaultConfig(cfg.Seed)
+	gcfg.FirewalledFrac = cfg.FirewalledFrac
 	var nw *gnet.Network
-	if cfg.SnapshotLoad != "" {
+	saved := false
+	switch {
+	case cfg.SnapshotLoad != "":
 		var err error
-		nw, err = snapshot.Load(cfg.SnapshotLoad, 0)
+		if cfg.SnapshotMmap {
+			nw, _, err = snapshot.LoadPreferMapped(cfg.SnapshotLoad, 0)
+		} else {
+			nw, err = snapshot.Load(cfg.SnapshotLoad, 0)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
-	} else {
-		cat, err := catalog.Build(catalog.Config{
-			Seed:                cfg.Seed,
-			Peers:               cfg.Peers,
-			UniqueObjects:       cfg.UniqueObjects,
-			ReplicaAlpha:        2.45,
-			VariantProb:         0.08,
-			NonSpecificPeerFrac: 0.05,
-		})
+	case cfg.SnapshotShardSize > 0 && cfg.SnapshotSave != "":
+		if _, err := snapshot.BuildSharded(cfg.SnapshotSave, snapshot.BuildConfig{
+			Catalog:   ccat,
+			Network:   gcfg,
+			ShardSize: cfg.SnapshotShardSize,
+		}); err != nil {
+			return nil, nil, err
+		}
+		saved = true
+		var err error
+		nw, err = snapshot.Load(cfg.SnapshotSave, 0)
 		if err != nil {
 			return nil, nil, err
 		}
-		gcfg := gnet.DefaultConfig(cfg.Seed)
-		gcfg.FirewalledFrac = cfg.FirewalledFrac
+	default:
+		cat, err := catalog.Build(ccat)
+		if err != nil {
+			return nil, nil, err
+		}
 		nw, err = gnet.NewFromCatalog(gcfg, cat)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	if cfg.SnapshotSave != "" {
+	if cfg.SnapshotSave != "" && !saved {
 		if _, err := snapshot.Save(cfg.SnapshotSave, nw, 0); err != nil {
 			return nil, nil, err
 		}
