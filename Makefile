@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke saturation-smoke scalefull-smoke scale1m-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke ci check clean
+.PHONY: build test vet fmt-check race determinism fuzz-smoke bench bench-events bench-snapshot recovery-smoke saturation-smoke querycentric-smoke scalefull-smoke scale1m-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke ci check clean
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ race:
 # scenario with shedding and breakers enabled is byte-identical at 1 vs 8
 # workers, and a disabled capacity plane is byte-identical to no plane.
 determinism:
-	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestMetricsSnapshotWorkerInvariance|TestRecoveryWindowWorkerInvariance|TestSnapshotRoundTripMatchesFreshBuild|TestSnapshotLoadFailsLoudlyInEnv' ./internal/experiments/
+	$(GO) test -race -run 'TestWorkerCountDoesNotChangeResults|TestMetricsDoNotChangeResults|TestQueryCentricMetricsInert|TestMetricsSnapshotWorkerInvariance|TestRecoveryWindowWorkerInvariance|TestSnapshotRoundTripMatchesFreshBuild|TestSnapshotLoadFailsLoudlyInEnv' ./internal/experiments/
 	$(GO) test -race -run 'TestScenarioDeterministicAndWorkerInvariant|TestCapacityScenarioWorkerInvariant|TestCapacityDisabledIsInert' ./internal/events/
 
 # Short fuzz of the wire-message decoder, the churn-timeline generator,
@@ -91,6 +91,25 @@ saturation-smoke:
 			printf "saturation-smoke: ok (ttl peak success %s >= 2x drop-tail %s)\n", t, d }'
 	$(GO) test -run 'TestCapacityDisabledIsInert' ./internal/events/
 
+# Query-centric smoke: the tiny-scale five-arm head-to-head through the
+# CLI must show the adaptive overlay recovering at least 2x static
+# flooding's TTL-3 success at no extra message cost — the paper's
+# constructive claim as a CI gate. The companion determinism half of the
+# contract — the full adaptation loop byte-identical at 1 vs 8 workers
+# and metrics-attach changing nothing — runs as the race-checked tests
+# alongside it (the worker-invariance leg is also part of
+# `make determinism`).
+querycentric-smoke:
+	@$(GO) run ./cmd/qc-sim -mode query-centric -scale tiny | awk ' \
+		$$1 == "static-flood" { ss = $$2; sm = $$3 } \
+		$$1 == "adaptive" { as = $$2; am = $$3 } \
+		END { \
+			if (ss == "" || as == "") { print "querycentric-smoke: static-flood or adaptive rows missing"; exit 1 }; \
+			if (as + 0 < 2 * ss) { printf "querycentric-smoke: FAIL adaptive success %s < 2x static %s\n", as, ss; exit 1 }; \
+			if (am + 0 > sm + 0) { printf "querycentric-smoke: FAIL adaptive msgs/query %s > static %s\n", am, sm; exit 1 }; \
+			printf "querycentric-smoke: ok (success %s >= 2x static %s at %s <= %s msgs/query)\n", as, ss, am, sm }'
+	$(GO) test -race -run 'TestQueryCentricMetricsInert|TestWorkerInvariance' ./internal/experiments/ ./internal/adaptive/
+
 # Paper-scale construction smoke: build the ScaleFull catalog + network +
 # interned indexes (no trials, no legacy twin) under a wall-clock budget so
 # regressions that push 37k-peer / 8.1M-object construction out of a CI-able
@@ -144,10 +163,11 @@ capacity-overhead-smoke:
 # under the race detector, the workers=8 determinism regression, the
 # decoder, churn-timeline, posting-codec and snapshot-loader fuzz smokes,
 # the fault-burst recovery smoke, the flash-crowd saturation smoke, the
-# API freeze, the metrics- and capacity-overhead smokes, the paper-scale
-# construction smoke (with the sharded byte-identity gate) and the
-# million-peer sharded-construction smoke.
-ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke saturation-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke scalefull-smoke scale1m-smoke
+# query-centric adaptive-overlay smoke, the API freeze, the metrics- and
+# capacity-overhead smokes, the paper-scale construction smoke (with the
+# sharded byte-identity gate) and the million-peer sharded-construction
+# smoke.
+ci: vet fmt-check build race determinism fuzz-smoke recovery-smoke saturation-smoke querycentric-smoke api-freeze obs-overhead-smoke capacity-overhead-smoke scalefull-smoke scale1m-smoke
 
 check: ci
 

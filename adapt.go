@@ -1,0 +1,105 @@
+package querycentric
+
+import (
+	"querycentric/internal/adaptive"
+	"querycentric/internal/events"
+	"querycentric/internal/experiments"
+	"querycentric/internal/shortcuts"
+	"querycentric/internal/strategy"
+)
+
+// Unified overlay-strategy surface (see internal/strategy): every search
+// strategy that replays the shared workload derivation — interest
+// shortcuts, Gia and the adaptive overlay — implements AdaptivePolicy, so
+// experiments compare arms over the identical (origin, object) query
+// sequence. Strategies that mutate topology additionally implement
+// Rewirer and expose their edge-swap log.
+type (
+	AdaptivePolicy = strategy.AdaptivePolicy
+	Rewirer        = strategy.Rewirer
+	StrategyStats  = strategy.Stats
+	RewireDecision = strategy.RewireDecision
+)
+
+// Workload derivation helpers: WorkloadStream names the base stream of a
+// workload seed and QueryStream derives query i's substream, the contract
+// every AdaptivePolicy replays.
+var (
+	WorkloadStream = strategy.WorkloadStream
+	QueryStream    = strategy.QueryStream
+)
+
+// Interest-based shortcuts (Sripanidkulchai-style) over the projected
+// overlay.
+type (
+	ShortcutSystem = shortcuts.System
+	ShortcutConfig = shortcuts.Config
+)
+
+// Shortcut constructors.
+var (
+	NewShortcuts          = shortcuts.New
+	DefaultShortcutConfig = shortcuts.DefaultConfig
+)
+
+// Adaptive overlay (see internal/adaptive): query-stream-driven rewiring
+// from QueryHit answer paths plus hot-object replication from a windowed
+// popularity sketch, over the wire-level Gnutella network.
+type (
+	AdaptiveSystem = adaptive.System
+	AdaptiveConfig = adaptive.Config
+	AdaptiveObject = adaptive.Object
+	ReplScheme     = adaptive.Scheme
+)
+
+// Replica-placement schemes.
+const (
+	ReplSchemeOwner  = adaptive.SchemeOwner
+	ReplSchemePath   = adaptive.SchemePath
+	ReplSchemeRandom = adaptive.SchemeRandom
+	ReplSchemeSqrt   = adaptive.SchemeSqrt
+)
+
+// Adaptive constructors; ReplSchemes lists the valid scheme names for
+// flag validation.
+var (
+	NewAdaptive           = adaptive.New
+	DefaultAdaptiveConfig = adaptive.DefaultConfig
+	ReplSchemes           = adaptive.Schemes
+)
+
+// The unified strategy surface: all three search strategies speak
+// AdaptivePolicy, and the topology-mutating one is a Rewirer.
+var _ = []AdaptivePolicy{
+	(*ShortcutSystem)(nil),
+	(*GiaSystem)(nil),
+	(*AdaptiveSystem)(nil),
+}
+var _ Rewirer = (*AdaptiveSystem)(nil)
+
+// ScheduleAdaptationRounds schedules recurring overlay-adaptation rounds
+// on the event engine at PrioAdapt (after maintenance, before that
+// instant's query batch).
+var ScheduleAdaptationRounds = events.ScheduleAdaptationRounds
+
+// Query-centric head-to-head types: the five-arm comparison of static
+// flooding, QRP, interest shortcuts, the adaptive overlay and Chord under
+// the paper's query/file mismatch.
+type (
+	QueryCentricResult = experiments.QueryCentricResult
+	QueryCentricArm    = experiments.QueryCentricArm
+	QueryCentricConfig = experiments.QueryCentricConfig
+)
+
+// DefaultQueryCentricConfig mirrors the adaptive package's default knobs.
+func DefaultQueryCentricConfig() QueryCentricConfig {
+	return experiments.DefaultQueryCentricConfig()
+}
+
+// QueryCentric runs the five-arm head-to-head with default knobs.
+func QueryCentric(e *Env) (*QueryCentricResult, error) { return experiments.QueryCentric(e) }
+
+// QueryCentricWith runs the head-to-head with explicit adaptation knobs.
+func QueryCentricWith(e *Env, cfg QueryCentricConfig) (*QueryCentricResult, error) {
+	return experiments.QueryCentricWith(e, cfg)
+}

@@ -10,6 +10,7 @@
 //	qc-sim -mode gia
 //	qc-sim -mode synopsis
 //	qc-sim -mode churn-repair -scale tiny
+//	qc-sim -mode query-centric -scale tiny -repl-scheme sqrt
 //	qc-sim -mode recovery -scale tiny -burst-frac 0.3
 //	qc-sim -mode fig8 -metrics            # also write out/RUN_qc-sim_fig8_*.json
 //	qc-sim -mode synopsis -snapshot-save out/net.qcsnap        # persist the substrate
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|recovery|saturation|walk|replication|shortcuts|synopsis|faults")
+		mode         = flag.String("mode", "fig8", "fig8|coverage|hybrid|gia|dht|qrp|churn|churn-repair|recovery|saturation|walk|replication|shortcuts|query-centric|synopsis|faults")
 		scaleName    = cliflags.AddScale(flag.CommandLine, "default")
 		seed         = cliflags.AddSeed(flag.CommandLine)
 		deadFrac     = flag.Float64("dead", 0, "fraction of peers offline in -mode faults (churn liveness mask)")
@@ -42,6 +43,7 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 16, "per-peer ingress queue bound in -mode saturation (messages)")
 		serviceCost  = flag.Int("service-cost", 4000, "per-message service time in -mode saturation (simulated ms)")
 		shedPolicy   = flag.String("shed-policy", "all", "saturation arms: all, or one of unbounded|drop-tail|red|ttl (run against the unbounded baseline)")
+		adaptFlags   = cliflags.AddAdaptive(flag.CommandLine)
 		profiles     = cliflags.AddProfiles(flag.CommandLine)
 		obsFlags     = cliflags.AddObs(flag.CommandLine, "qc-sim")
 		snapFlags    = cliflags.AddSnapshot(flag.CommandLine)
@@ -70,6 +72,9 @@ func main() {
 	}
 	if err := cliflags.CheckOneOf("-shed-policy", *shedPolicy,
 		"all", "unbounded", "drop-tail", "red", "ttl"); err != nil {
+		fail(err)
+	}
+	if err := adaptFlags.Check(); err != nil {
 		fail(err)
 	}
 	if err := snapFlags.Check(); err != nil {
@@ -255,6 +260,21 @@ func main() {
 		fmt.Printf("# fault sweep: %d peers, dead_frac %.2f, %d attempts/peer\n",
 			f.Peers, f.DeadFrac, f.MaxAttempts)
 		writeTable(f)
+	case "query-centric":
+		cfg := qc.QueryCentricConfig{
+			AdaptInterval:   adaptFlags.Interval,
+			RewireBudget:    adaptFlags.RewireBudget,
+			ReplicateBudget: adaptFlags.ReplicateBudget,
+			ReplScheme:      qc.ReplScheme(adaptFlags.Scheme),
+		}
+		r, err := qc.QueryCentricWith(env, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("# query-centric: %d peers, %d objects, %d warmup + %d measured queries/arm\n",
+			r.Peers, r.Objects, r.Warmup, r.Queries)
+		writeTable(r)
+		fmt.Fprintf(os.Stderr, "query-centric: adaptive_gain=%.2f over static flooding\n", r.AdaptiveGain)
 	case "synopsis":
 		s, err := qc.SynopsisAblation(env)
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"querycentric/internal/adaptive"
 	"querycentric/internal/obs"
 )
 
@@ -79,6 +80,46 @@ func (s *SnapshotFlags) Check() error {
 		return fmt.Errorf("-shard-size builds a new snapshot and cannot be combined with -snapshot-load")
 	}
 	return nil
+}
+
+// AdaptiveFlags holds the query-centric adaptation knobs (qc-sim
+// -mode query-centric).
+type AdaptiveFlags struct {
+	// Interval is the number of queries between adaptation rounds.
+	Interval int
+	// RewireBudget caps edge swaps per round (0 disables rewiring).
+	RewireBudget int
+	// ReplicateBudget caps replica installs per round (0 disables
+	// replication).
+	ReplicateBudget int
+	// Scheme is the replica-placement scheme (adaptive.Schemes()).
+	Scheme string
+}
+
+// AddAdaptive registers -adapt-interval, -rewire-budget,
+// -replicate-budget and -repl-scheme with the adaptive package defaults.
+func AddAdaptive(fs *flag.FlagSet) *AdaptiveFlags {
+	d := adaptive.DefaultConfig(0)
+	a := &AdaptiveFlags{}
+	fs.IntVar(&a.Interval, "adapt-interval", d.AdaptInterval, "queries between overlay adaptation rounds in -mode query-centric")
+	fs.IntVar(&a.RewireBudget, "rewire-budget", d.RewireBudget, "max shortcut rewires per adaptation round in -mode query-centric (0 disables rewiring)")
+	fs.IntVar(&a.ReplicateBudget, "replicate-budget", d.ReplicateBudget, "max replica installs per adaptation round in -mode query-centric (0 disables replication)")
+	fs.StringVar(&a.Scheme, "repl-scheme", string(d.ReplScheme), "replica placement scheme in -mode query-centric (owner|path|random|sqrt)")
+	return a
+}
+
+// Check validates the adaptation knobs after parsing.
+func (a *AdaptiveFlags) Check() error {
+	if err := CheckPositive("-adapt-interval", a.Interval); err != nil {
+		return err
+	}
+	if err := CheckNonNegative("-rewire-budget", a.RewireBudget); err != nil {
+		return err
+	}
+	if err := CheckNonNegative("-replicate-budget", a.ReplicateBudget); err != nil {
+		return err
+	}
+	return CheckOneOf("-repl-scheme", a.Scheme, adaptive.Schemes()...)
 }
 
 // Profiles holds the shared profiling flag values.

@@ -1,0 +1,84 @@
+package events
+
+import (
+	"fmt"
+	"testing"
+
+	"querycentric/internal/rng"
+)
+
+// TestScheduleAdaptationRounds pins the adaptation-tick contract: rounds
+// fire at start, start+interval, ... up to the horizon, numbered from
+// zero, and a round at time t runs after that instant's maintenance but
+// before its queries.
+func TestScheduleAdaptationRounds(t *testing.T) {
+	e, err := New(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	note := func(kind string) Handler {
+		return func(now int64, _ *rng.Source) error {
+			trace = append(trace, fmt.Sprintf("%s@%d", kind, now))
+			return nil
+		}
+	}
+	// Co-scheduled maintenance and queries at an adaptation instant.
+	if err := e.Schedule(40, PrioMaint, "m", note("maint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(40, PrioQuery, "q", note("query")); err != nil {
+		t.Fatal(err)
+	}
+	rounds := []int{}
+	err = ScheduleAdaptationRounds(e, 10, 30, func(round int, now int64) error {
+		rounds = append(rounds, round)
+		trace = append(trace, fmt.Sprintf("adapt%d@%d", round, now))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantRounds := []int{0, 1, 2, 3} // t = 10, 40, 70, 100
+	if len(rounds) != len(wantRounds) {
+		t.Fatalf("rounds %v, want %v", rounds, wantRounds)
+	}
+	for i, r := range rounds {
+		if r != wantRounds[i] {
+			t.Fatalf("rounds %v, want %v", rounds, wantRounds)
+		}
+	}
+	want := []string{"adapt0@10", "maint@40", "adapt1@40", "query@40", "adapt2@70", "adapt3@100"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestScheduleAdaptationRoundsValidation(t *testing.T) {
+	e, err := New(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(int, int64) error { return nil }
+	if err := ScheduleAdaptationRounds(e, 0, 0, fn); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := ScheduleAdaptationRounds(e, -1, 10, fn); err == nil {
+		t.Error("negative start accepted")
+	}
+	// A start beyond the horizon schedules nothing and is not an error.
+	if err := ScheduleAdaptationRounds(e, 60, 10, fn); err != nil {
+		t.Errorf("past-horizon start rejected: %v", err)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("past-horizon start queued %d events", e.Pending())
+	}
+}

@@ -45,6 +45,10 @@ const (
 	PrioChurn Priority = iota
 	PrioFault
 	PrioMaint
+	// PrioAdapt orders overlay-adaptation rounds (rewiring, replication)
+	// after maintenance but before the instant's queries, so a query batch
+	// at time t always runs over the topology adapted through time t.
+	PrioAdapt
 	PrioQuery
 	PrioWindow
 )

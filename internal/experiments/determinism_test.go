@@ -39,6 +39,11 @@ func TestWorkerCountDoesNotChangeResults(t *testing.T) {
 		// churn/fault/maintenance/query events must produce identical
 		// windows at any worker count.
 		{"Recovery", func(e *Env) (any, error) { return RecoveryWith(e, tinyRecoveryConfig(e.Seed)) }},
+		// QueryCentric marshals all five strategy arms, extending the gate
+		// across the adaptive overlay: parallel measurement batches,
+		// event-scheduled adaptation rounds, topology rewiring and replica
+		// installs must land byte-identically at any worker count.
+		{"QueryCentric", func(e *Env) (any, error) { return QueryCentric(e) }},
 		// NetworkConstruction covers the parallel build phases introduced
 		// with term interning: catalog name generation, the shared
 		// dictionary, and per-peer posting indexes must be byte-identical

@@ -45,7 +45,7 @@ var _ = []Result{
 	(*WalkVsFloodResult)(nil), (*ReplicationResult)(nil),
 	(*ShortcutsResult)(nil), (*DHTRoutingResult)(nil),
 	(*FaultSweepResult)(nil), (*SynopsisResult)(nil), (*RareObjectResult)(nil),
-	(*RecoveryResult)(nil), (*SaturationResult)(nil),
+	(*RecoveryResult)(nil), (*SaturationResult)(nil), (*QueryCentricResult)(nil),
 }
 
 // kv builds a two-column metric/value table from alternating pairs.

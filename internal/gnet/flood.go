@@ -71,6 +71,17 @@ type FloodCtx struct {
 	qids  []dict.TermID
 	qhash []uint32
 	ms    matchScratch
+
+	// Path capture (opt-in, see SetPathCapture): pathParent[to] is the peer
+	// whose copy peer `to` processed, epoch-stamped like seen, so AnswerPath
+	// can walk a QueryHit back to the flood's origin. The from buffers ride
+	// alongside frontier/next, recording which peer transmitted each entry.
+	capturePaths bool
+	pathParent   []int32
+	pathEpoch    []int32
+	pathOrigin   int32
+	fromBuf      []int32
+	nextFrom     []int32
 }
 
 // NewFloodCtx returns a flood context for this network, typically one per
@@ -97,9 +108,58 @@ func (c *FloodCtx) bump() int32 {
 			c.lossEpoch[i] = 0
 			c.capEpoch[i] = 0
 		}
+		for i := range c.pathEpoch {
+			c.pathEpoch[i] = 0
+		}
 		c.epoch = 1
 	}
 	return c.epoch
+}
+
+// SetPathCapture toggles per-flood answer-path recording: with capture on,
+// each flood additionally stamps the forwarding parent of every processed
+// peer, so AnswerPath can reconstruct the overlay route a QueryHit took.
+// Capture never changes a flood's result — same reach, hits, messages —
+// it only records which copy won the race at each peer (the first one in
+// deterministic frontier order, matching duplicate suppression).
+func (c *FloodCtx) SetPathCapture(on bool) {
+	c.capturePaths = on
+	if on && c.pathParent == nil {
+		n := len(c.nw.Peers)
+		c.pathParent = make([]int32, n)
+		c.pathEpoch = make([]int32, n)
+	}
+}
+
+// AnswerPath reconstructs the path the most recent flood's query took from
+// its origin to `peer`, inclusive at both ends and in origin→peer order.
+// It is valid until the next flood on this context and returns nil when
+// capture is off or the peer was not reached.
+func (c *FloodCtx) AnswerPath(peer int) []int {
+	if !c.capturePaths || peer < 0 || peer >= len(c.seen) {
+		return nil
+	}
+	if int32(peer) == c.pathOrigin {
+		if c.seen[peer] == c.epoch {
+			return []int{peer}
+		}
+		return nil
+	}
+	if c.seen[peer] != c.epoch {
+		return nil
+	}
+	rev := []int{peer}
+	for cur := int32(peer); cur != c.pathOrigin; {
+		if c.pathEpoch[cur] != c.epoch {
+			return nil // captured state incomplete (capture toggled mid-run)
+		}
+		cur = c.pathParent[cur]
+		rev = append(rev, int(cur))
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
 }
 
 // lost decides whether this delivery attempt to peer `to` is dropped,
@@ -158,6 +218,9 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	res := &FloodResult{GUID: guid, Criteria: criteria, TTL: ttl}
 	epoch := c.bump()
 	c.seen[origin] = epoch
+	if c.capturePaths {
+		c.pathOrigin = int32(origin)
+	}
 
 	// Per-flood hoists: the query's deduped token list resolved to shared
 	// TermIDs (identical for every reached peer), the QRP hash of the
@@ -207,6 +270,13 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 	}
 	frontier, next := c.frontier[:0], c.next[:0]
 	defer func() { c.frontier, c.next = frontier[:0], next[:0] }()
+	// With path capture on, `from` rides alongside frontier: from[i] is the
+	// peer that transmitted frontier[i]'s copy.
+	var from, nextFrom []int32
+	if c.capturePaths {
+		from, nextFrom = c.fromBuf[:0], c.nextFrom[:0]
+		defer func() { c.fromBuf, c.nextFrom = from[:0], nextFrom[:0] }()
+	}
 	for _, nb := range nw.Peers[origin].Neighbors {
 		// An open circuit breaker suppresses the send at the origin: the
 		// copy is never transmitted and never counted.
@@ -216,6 +286,9 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 		}
 		frontier = append(frontier, int32(nb))
 		res.Messages++
+		if c.capturePaths {
+			from = append(from, int32(origin))
+		}
 	}
 
 	twoTier := nw.Config.UltrapeerFrac > 0
@@ -230,7 +303,7 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 		forwards := m.Header.TTL > 1
 		ringStart := res.PeersReached
 		var fraw []byte // next ring's bytes, encoded once on first use
-		for _, to := range frontier {
+		for fi, to := range frontier {
 			if c.seen[to] == epoch {
 				continue // duplicate suppression by GUID
 			}
@@ -253,6 +326,10 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 				continue
 			}
 			c.seen[to] = epoch
+			if c.capturePaths {
+				c.pathParent[to] = from[fi]
+				c.pathEpoch[to] = epoch
+			}
 			res.PeersReached++
 			peer := nw.Peers[to]
 			var files []File
@@ -287,8 +364,17 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 					continue
 				}
 				// Last-hop QRP filtering: do not waste a message on a
-				// leaf whose route table cannot match.
-				if !nw.qrpAllowsHoisted(nb, hoist) {
+				// recipient that would neither relay the query further
+				// (a two-tier leaf, or any peer at the final TTL ring)
+				// nor match it per its route table. Relaying recipients
+				// are never table-filtered — on a flat network every
+				// peer holds a table, and filtering mid-route would kill
+				// propagation rather than trim its last hop. For
+				// two-tier networks the conditions coincide (only
+				// non-relaying leaves carry tables), so deployed-shape
+				// results are unchanged.
+				lastHop := m.Header.TTL <= 2 || (twoTier && !nw.Peers[nb].Ultrapeer)
+				if lastHop && !nw.qrpAllowsHoisted(nb, hoist) {
 					qrpSkipped++
 					continue
 				}
@@ -298,12 +384,18 @@ func (c *FloodCtx) Flood(origin int, criteria string, ttl int, r *rng.Source) (*
 				}
 				next = append(next, int32(nb))
 				res.Messages++
+				if c.capturePaths {
+					nextFrom = append(nextFrom, to)
+				}
 			}
 		}
 		if tracing {
 			perRing = append(perRing, res.PeersReached-ringStart)
 		}
 		frontier, next = next, frontier[:0]
+		if c.capturePaths {
+			from, nextFrom = nextFrom, from[:0]
+		}
 		raw = fraw
 	}
 	if breakerSkips > 0 {

@@ -433,6 +433,33 @@ func (nw *Network) DisconnectPeers(a, b int) bool {
 	return true
 }
 
+// AddFile installs a copy of (name, size) in peer id's library — the
+// replication half of overlay adaptation — and invalidates the peer's
+// posting index so its next match rebuilds over the grown library. The
+// library is reallocated rather than appended in place, so mapped-snapshot
+// networks never write through their borrowed views. Like ConnectPeers,
+// library mutation must not race floods: callers alternate adaptation and
+// measurement phases. QRP route tables built before the mutation go stale
+// until EnableQRP runs again, and the global DF probe ordering drifts —
+// which changes probe order, never match results.
+func (nw *Network) AddFile(id int, name string, size uint32) error {
+	if id < 0 || id >= len(nw.Peers) {
+		return fmt.Errorf("gnet: add file: peer %d out of range", id)
+	}
+	if name == "" {
+		return fmt.Errorf("gnet: add file: empty file name")
+	}
+	p := nw.Peers[id]
+	lib := make([]File, len(p.Library)+1)
+	copy(lib, p.Library)
+	lib[len(p.Library)] = File{Index: uint32(len(p.Library)), Size: size, Name: name}
+	p.Library = lib
+	p.idx = postingIndex{}
+	p.termIndex = nil
+	p.indexOnce = sync.Once{}
+	return nil
+}
+
 // removeNeighbor deletes id from p's neighbor list in place, keeping order.
 func removeNeighbor(p *Peer, id int) bool {
 	for i, x := range p.Neighbors {

@@ -180,8 +180,82 @@ func TestExpectedSuccessBounds(t *testing.T) {
 	if _, err := ExpectedSuccess([]int{1}, []float64{1, 2}, 10, 1); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if _, err := ExpectedSuccess([]int{1}, []float64{0}, 10, 1); err == nil {
-		t.Error("zero popularity accepted")
+}
+
+// TestZeroPopularityClamps pins the degenerate case an adaptive system hits
+// before its sketch has observed any queries: an all-zero query popularity
+// clamps to uniform weights instead of erroring, agreeing with Allocate.
+func TestZeroPopularityClamps(t *testing.T) {
+	counts := []int{2, 2}
+	zero := []float64{0, 0}
+	uniform := []float64{1, 1}
+	sZero, err := ExpectedSuccess(counts, zero, 10, 3)
+	if err != nil {
+		t.Fatalf("zero popularity: %v", err)
+	}
+	sUni, err := ExpectedSuccess(counts, uniform, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sZero-sUni) > 1e-12 {
+		t.Errorf("zero-popularity success %v != uniform %v", sZero, sUni)
+	}
+	zZero, err := ExpectedSearchSize(counts, zero, 10)
+	if err != nil {
+		t.Fatalf("zero popularity: %v", err)
+	}
+	zUni, err := ExpectedSearchSize(counts, uniform, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zZero-zUni) > 1e-12 {
+		t.Errorf("zero-popularity search size %v != uniform %v", zZero, zUni)
+	}
+	if _, err := ExpectedSuccess(nil, nil, 10, 1); err == nil {
+		t.Error("empty object set accepted by ExpectedSuccess")
+	}
+	if _, err := ExpectedSearchSize(nil, nil, 10); err == nil {
+		t.Error("empty object set accepted by ExpectedSearchSize")
+	}
+}
+
+// TestAllocationBoundaries covers the edges an adaptation round can reach:
+// an empty (zero) budget, a hard maxPer=1 cap, and a single-node network.
+func TestAllocationBoundaries(t *testing.T) {
+	// Empty budget: every object still receives its floor of one replica.
+	counts, err := Allocate(SquareRoot, []float64{5, 1, 0}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("zero budget: object %d got %d replicas, want 1", i, c)
+		}
+	}
+	// maxPer=1: the cap binds before the budget is spent.
+	counts, err = Allocate(Proportional, []float64{9, 1}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("maxPer=1: object %d got %d replicas, want 1", i, c)
+		}
+	}
+	// Single-node network: one replica means certain success in one probe.
+	s, err := ExpectedSuccess([]int{1}, []float64{3}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("single-node success %v, want 1", s)
+	}
+	z, err := ExpectedSearchSize([]int{1}, []float64{3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z-1) > 1e-12 {
+		t.Errorf("single-node search size %v, want 1", z)
 	}
 }
 

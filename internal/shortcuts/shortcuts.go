@@ -18,6 +18,7 @@ import (
 	"querycentric/internal/overlay"
 	"querycentric/internal/rng"
 	"querycentric/internal/search"
+	"querycentric/internal/strategy"
 )
 
 // Config tunes the shortcut lists.
@@ -140,31 +141,30 @@ func (s *System) install(v int, sc int32) {
 // ShortcutLen returns peer v's current shortcut count (for tests).
 func (s *System) ShortcutLen(v int) int { return len(s.lists[v]) }
 
-// Stats aggregates a workload run.
-type Stats struct {
-	Queries      int
-	Success      float64
-	ShortcutHits float64 // fraction of successes answered by a shortcut
-	MeanMessages float64
-}
+// Name implements strategy.AdaptivePolicy.
+func (s *System) Name() string { return "shortcuts" }
 
-// RunWorkload issues queries from random origins with targets drawn by
-// pick, returning aggregate statistics. Shortcut lists warm up and adapt
-// during the run.
-func (s *System) RunWorkload(queries int, pick func(r *rng.Source) int, seed uint64) (*Stats, error) {
+// RunWorkload implements strategy.AdaptivePolicy: queries follow the
+// unified workload derivation (see strategy.WorkloadStream), so a shortcut
+// run and any other strategy at the same seed observe the identical
+// (origin, object) sequence. Shortcut lists warm up and adapt during the
+// run and persist across calls.
+func (s *System) RunWorkload(queries int, pick func(r *rng.Source) int, seed uint64) (*strategy.Stats, error) {
 	if queries < 1 {
 		return nil, fmt.Errorf("shortcuts: queries must be positive")
 	}
-	r := rng.NewNamed(seed, "shortcuts/workload")
-	st := &Stats{Queries: queries}
-	var hits, scHits, msgs int
+	base := strategy.WorkloadStream(seed)
+	st := &strategy.Stats{Queries: queries}
+	var hits, scHits, msgs, hops int
 	for i := 0; i < queries; i++ {
+		r := strategy.QueryStream(base, i)
 		res, err := s.Search(r.Intn(s.g.N()), pick(r))
 		if err != nil {
 			return nil, err
 		}
 		if res.Found {
 			hits++
+			hops += res.Hops
 			if res.ViaShortcut {
 				scHits++
 			}
@@ -174,7 +174,11 @@ func (s *System) RunWorkload(queries int, pick func(r *rng.Source) int, seed uin
 	st.Success = float64(hits) / float64(queries)
 	if hits > 0 {
 		st.ShortcutHits = float64(scHits) / float64(hits)
+		st.MeanHops = float64(hops) / float64(hits)
 	}
 	st.MeanMessages = float64(msgs) / float64(queries)
 	return st, nil
 }
+
+// The unified interface is implemented.
+var _ strategy.AdaptivePolicy = (*System)(nil)

@@ -1,0 +1,97 @@
+// Package strategy defines the unified overlay-strategy surface every
+// query-centric search system in this repository implements: interest
+// shortcuts (internal/shortcuts), Gia (internal/gia) and the adaptive
+// overlay (internal/adaptive). Before this interface each package exposed
+// its own ad-hoc workload entry point with its own stats shape and its own
+// RNG discipline; callers comparing strategies had to stitch three APIs
+// together and could not even feed them the same query stream. The
+// interface fixes all three at once:
+//
+//   - one entry point, RunWorkload(queries, pick, seed);
+//   - one Stats shape, so experiment tables render uniformly;
+//   - one derivation contract (see WorkloadStream), so two strategies run
+//     with the same (n, queries, pick, seed) observe the *identical*
+//     sequence of (origin, object) pairs — arm-to-arm comparisons measure
+//     the strategy, never the workload draw.
+package strategy
+
+import (
+	"fmt"
+
+	"querycentric/internal/rng"
+)
+
+// Stats is the common workload aggregate every strategy reports. Fields a
+// strategy cannot populate stay zero (a static arm performs no rewiring;
+// Chord-style baselines have no shortcut hits).
+type Stats struct {
+	// Queries is the number of queries issued.
+	Queries int
+	// Success is the fraction of queries answered.
+	Success float64
+	// ShortcutHits is the fraction of successes answered by an adapted
+	// link (a shortcut probe or candidate probe) rather than a flood.
+	ShortcutHits float64
+	// MeanMessages is the mean protocol messages per query (probes plus
+	// flood descriptors).
+	MeanMessages float64
+	// MeanHops is the mean hop count of the first answer over successes.
+	MeanHops float64
+	// Rewires and Replicas count topology swaps and replica installs the
+	// strategy performed during the run (adaptive overlays only).
+	Rewires  int
+	Replicas int
+}
+
+// AdaptivePolicy is the unified strategy interface. RunWorkload issues
+// `queries` queries whose origins and targets derive per the WorkloadStream
+// contract, adapting whatever state the strategy keeps (shortcut lists,
+// candidate lists, topology, replicas) as the stream unfolds.
+type AdaptivePolicy interface {
+	// Name is the strategy's stable identifier (table row label).
+	Name() string
+	// RunWorkload issues queries with targets drawn by pick and returns
+	// aggregate statistics. Implementations must follow the WorkloadStream
+	// derivation so results are byte-identical at any worker count and the
+	// query sequence is identical across strategies for a given seed.
+	RunWorkload(queries int, pick func(r *rng.Source) int, seed uint64) (*Stats, error)
+}
+
+// RewireDecision records one topology swap an adaptive strategy performed:
+// at round Round, Peer dropped its edge to Dropped and connected to Added
+// (-1 when the corresponding half did not happen).
+type RewireDecision struct {
+	Round   int
+	Peer    int
+	Dropped int
+	Added   int
+}
+
+// Rewirer is implemented by strategies that mutate the overlay topology;
+// the decision log pins convergence behavior in oracle tests.
+type Rewirer interface {
+	AdaptivePolicy
+	RewireLog() []RewireDecision
+}
+
+// WorkloadStream returns the base stream of the unified workload
+// derivation. The contract every RunWorkload implementation follows:
+//
+//	base := strategy.WorkloadStream(seed)
+//	r := base.Derive(fmt.Sprintf("query/%d", i))  // query i's private stream
+//	origin := r.Intn(n)
+//	obj := pick(r)
+//	... all of query i's remaining draws come from r, in a fixed order ...
+//
+// Per-query derived streams are order-independent, so a strategy may fan
+// queries out over internal/parallel and still produce byte-identical
+// results at every worker count — and two different strategies over the
+// same population see the same (origin, object) sequence.
+func WorkloadStream(seed uint64) *rng.Source {
+	return rng.NewNamed(seed, "strategy/workload")
+}
+
+// QueryStream derives query i's private stream from the workload base.
+func QueryStream(base *rng.Source, i int) *rng.Source {
+	return base.Derive(fmt.Sprintf("query/%d", i))
+}

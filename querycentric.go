@@ -256,6 +256,7 @@ const (
 	PrioChurn  = events.PrioChurn
 	PrioFault  = events.PrioFault
 	PrioMaint  = events.PrioMaint
+	PrioAdapt  = events.PrioAdapt
 	PrioQuery  = events.PrioQuery
 	PrioWindow = events.PrioWindow
 
